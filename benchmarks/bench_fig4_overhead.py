@@ -1,0 +1,67 @@
+"""Figure 4 — computational-overhead breakdown per method.
+
+All methods run with identical clients, data, and sampled indices (the
+paper's protocol).  Costs split into (i) mean local-training time per
+client, (ii) mean aggregation time per round, (iii) one-time cost before
+round 1.  Shape to check: PARDON's one-time style-extraction cost is small
+relative to cumulative local training, its per-round aggregation matches
+FedAvg's, and total overhead is comparable to the baselines.
+"""
+
+from __future__ import annotations
+
+from common import bench_rounds, emit, method_factories, METHOD_ORDER, samples_per_class
+
+from repro.data import synthetic_pacs
+from repro.eval import ExperimentSetting, run_split_experiment
+from repro.utils.tables import format_table
+
+SPLIT = {"train": [0, 1], "val": [2], "test": [3]}
+
+
+def _run(suite) -> str:
+    factories = method_factories()
+    rounds = bench_rounds(10)
+    rows = []
+    for method in METHOD_ORDER:
+        setting = ExperimentSetting(
+            num_clients=16,
+            clients_per_round=0.25,
+            heterogeneity=0.1,
+            num_rounds=rounds,
+            eval_every=rounds,
+            seed=0,
+        )
+        outcome = run_split_experiment(suite, SPLIT, factories[method](), setting)
+        timing = outcome.result.timing
+        total = (
+            timing.one_time_seconds
+            + timing.local_train_seconds_total
+            + timing.aggregation_seconds_total
+        )
+        rows.append(
+            [
+                method,
+                f"{timing.local_train_seconds_mean * 1000:.1f}",
+                f"{timing.aggregation_seconds_mean * 1000:.1f}",
+                f"{timing.one_time_seconds * 1000:.1f}",
+                f"{total:.2f}",
+            ]
+        )
+    return format_table(
+        [
+            "Method",
+            "local train (ms/client)",
+            "aggregation (ms/round)",
+            "one-time cost (ms)",
+            "total (s)",
+        ],
+        rows,
+        title=f"Fig. 4 — computational overhead ({rounds} rounds, 16 clients)",
+    )
+
+
+def test_fig4_overhead(benchmark):
+    suite = synthetic_pacs(seed=0, samples_per_class=samples_per_class(40))
+    table = benchmark.pedantic(lambda: _run(suite), rounds=1, iterations=1)
+    emit("fig4_overhead", table)

@@ -1,0 +1,62 @@
+"""Figure 4 companion — communication cost per method (analytic).
+
+The paper measures computation; bytes on the wire complete the scalability
+story (§IV-B-3 argues PARDON's one-time cost does not grow with rounds).
+Payload sizes come from :mod:`repro.fl.communication`, exact for this
+repository's float64 tensors.
+
+Shape to check: every method is dominated by weight exchange; PARDON adds
+one style vector per client once; CCST's one-time download grows linearly
+with the client count (the whole style bank); FPL pays prototypes every
+round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import emit
+
+from repro.fl.communication import method_communication
+from repro.nn import build_cnn_model
+from repro.utils.tables import format_table
+
+METHODS = ["fedavg", "fedsr", "fedgma", "fpl", "feddg_ga", "ccst", "pardon"]
+
+
+def _run() -> str:
+    model = build_cnn_model((3, 16, 16), num_classes=7,
+                            rng=np.random.default_rng(0))
+    rows = []
+    for method in METHODS:
+        comm = method_communication(
+            method, model, style_dim=24, num_classes=7, num_clients=100
+        )
+        total = comm.total(rounds=50, participants_per_round=20, num_clients=100)
+        rows.append(
+            [
+                method,
+                f"{comm.per_round_up / 1024:.1f}",
+                f"{comm.per_round_down / 1024:.1f}",
+                f"{comm.one_time_up / 1024:.3f}",
+                f"{comm.one_time_down / 1024:.3f}",
+                f"{total / 1024 / 1024:.1f}",
+            ]
+        )
+    return format_table(
+        [
+            "Method",
+            "up KiB/round/client",
+            "down KiB/round/client",
+            "one-time up KiB",
+            "one-time down KiB",
+            "session total MiB (50r, 20/100 clients)",
+        ],
+        rows,
+        title="Fig. 4 companion — communication cost (analytic, float64)",
+    )
+
+
+def test_fig4b_communication(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit("fig4b_communication", table)

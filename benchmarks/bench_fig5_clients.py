@@ -1,0 +1,71 @@
+"""Figure 5 — accuracy vs the number of clients at fixed K=5 per round.
+
+Paper setting: K=5 participants out of N in {5, 10, 50, 100, 200} (i.e.
+100% down to 2.5% participation).  Scaled N grid here.  Shape to check:
+FPL/CCST strong at small N but degrading as N grows; Ours the most stable
+across the sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import (
+    bench_rounds,
+    bench_seeds,
+    emit,
+    method_factories,
+    METHOD_ORDER,
+    samples_per_class,
+)
+
+from repro.data import synthetic_pacs
+from repro.eval import ExperimentSetting, run_split_experiment
+from repro.utils.tables import format_percent, format_table
+
+CLIENT_COUNTS = (5, 10, 20, 40)
+K = 5
+SPLIT = {"train": [0, 1], "val": [2], "test": [3]}
+
+
+def _run(suite) -> str:
+    factories = method_factories()
+    rounds = bench_rounds(25)
+    val_rows, test_rows = [], []
+    for method in METHOD_ORDER:
+        val_cells, test_cells = [], []
+        for n_clients in CLIENT_COUNTS:
+            vals, tests = [], []
+            for seed in bench_seeds():
+                setting = ExperimentSetting(
+                    num_clients=n_clients,
+                    clients_per_round=min(K, n_clients),
+                    heterogeneity=0.1,
+                    num_rounds=rounds,
+                    eval_every=rounds,
+                    seed=seed,
+                )
+                outcome = run_split_experiment(
+                    suite, SPLIT, factories[method](), setting
+                )
+                vals.append(outcome.val_accuracy)
+                tests.append(outcome.test_accuracy)
+            val_cells.append(float(np.mean(vals)))
+            test_cells.append(float(np.mean(tests)))
+        val_rows.append([method] + [format_percent(v) for v in val_cells])
+        test_rows.append([method] + [format_percent(t) for t in test_cells])
+    headers = ["Method"] + [f"{K}/{n}" for n in CLIENT_COUNTS]
+    return "\n\n".join(
+        [
+            format_table(headers, val_rows,
+                         title="Fig. 5 — validation accuracy vs K/N"),
+            format_table(headers, test_rows,
+                         title="Fig. 5 — test accuracy vs K/N"),
+        ]
+    )
+
+
+def test_fig5_clients(benchmark):
+    suite = synthetic_pacs(seed=0, samples_per_class=samples_per_class(40))
+    table = benchmark.pedantic(lambda: _run(suite), rounds=1, iterations=1)
+    emit("fig5_clients", table)

@@ -1,0 +1,25 @@
+"""Benchmark-session plumbing: dump result tables past pytest's capture."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Re-print every result table on the live terminal.
+
+    ``common.emit`` overwrites each table file by name, so partial runs
+    (e.g. a single bench module) refresh only their own tables and leave
+    the rest of ``benchmarks/results/`` intact.
+    """
+    if not RESULTS_DIR.exists():
+        return
+    files = sorted(RESULTS_DIR.glob("*.txt"))
+    if not files:
+        return
+    terminalreporter.section("reproduction tables (also in benchmarks/results/)")
+    for path in files:
+        terminalreporter.write(path.read_text())

@@ -1,0 +1,80 @@
+"""Multi-hospital federation with domain-heterogeneous clients.
+
+The paper's motivating scenario (§I): hospitals hold medical images whose
+appearance varies with the acquisition site (scanner vendor, calibration,
+protocol), and a model trained across hospitals must generalize to a *new*
+hospital never seen in training.  Privacy rules forbid pooling the images.
+
+This example models four imaging sites as style domains, distributes three
+of them across 15 hospital clients (each hospital may aggregate data from
+several sites — domain-based heterogeneity), and evaluates every FedDG
+method on the held-out site.  It also prints what each hospital actually
+uploads under PARDON: one 2d-dimensional style-statistics vector.
+
+Run:  python examples/hospital_federation.py
+"""
+
+import numpy as np
+
+from repro import (
+    CCSTStrategy,
+    ExperimentSetting,
+    FedAvgStrategy,
+    FedGMAStrategy,
+    PardonStrategy,
+    run_split_experiment,
+    synthetic_office_home,
+)
+from repro.core import compute_client_style
+from repro.data import partition_clients
+from repro.style import InvertibleEncoder
+
+
+def main() -> None:
+    # Office-Home's structure (4 domains, many classes, few samples per
+    # class) matches the multi-site medical setting: many conditions, few
+    # examples per condition per site.
+    suite = synthetic_office_home(seed=7, samples_per_class=8)
+    site_names = ["site_A(art)", "site_B(clipart)", "site_C(product)",
+                  "site_D(real_world)"]
+
+    # Hold site D out: a hospital joining after deployment.
+    split = {"train": [0, 1, 2], "val": [3], "test": [3]}
+    setting = ExperimentSetting(
+        num_clients=15,
+        clients_per_round=0.3,
+        heterogeneity=0.2,   # hospitals aggregate data from multiple sites
+        num_rounds=25,
+        eval_every=25,
+        seed=7,
+    )
+
+    print("Scenario: 15 hospitals, data from 3 imaging sites, tested on a 4th")
+    print(f"Unseen site: {site_names[3]}")
+    print()
+    for name, strategy in (
+        ("FedAvg ", FedAvgStrategy()),
+        ("FedGMA ", FedGMAStrategy()),
+        ("CCST   ", CCSTStrategy()),
+        ("PARDON ", PardonStrategy()),
+    ):
+        outcome = run_split_experiment(suite, split, strategy, setting)
+        print(f"{name} accuracy on unseen site: {outcome.test_accuracy:.1%}")
+
+    # What leaves a hospital under PARDON: a single statistics vector.
+    print()
+    partition = partition_clients(
+        suite, [0, 1, 2], 15, 0.2, np.random.default_rng(7)
+    )
+    encoder = InvertibleEncoder(levels=1, seed=7)
+    style = compute_client_style(partition.client_datasets[0].images, encoder)
+    print(
+        f"Hospital 0 uploads exactly one vector in R^{2 * style.dim} "
+        f"(channel means + stds); first entries: "
+        f"{np.round(style.to_array()[:4], 3)}"
+    )
+    print("No image, gradient, or per-patient statistic is shared.")
+
+
+if __name__ == "__main__":
+    main()

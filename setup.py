@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The sandbox this reproduction targets has no network access and no ``wheel``
+package, so PEP 517/660 builds (which need an isolated environment or
+``bdist_wheel``) cannot run.  Keeping a classic ``setup.py`` alongside
+``pyproject.toml`` lets ``pip install -e . --no-use-pep517`` perform a legacy
+develop install with only the locally available setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""PARDON: Privacy-Aware and Robust Federated Domain Generalization —
+a full reproduction (ICDCS 2025, arXiv:2410.22622).
+
+Public API tour
+---------------
+>>> from repro import (
+...     synthetic_pacs, ExperimentSetting, PardonStrategy,
+...     run_lodo_protocol,
+... )
+>>> suite = synthetic_pacs(seed=0)
+>>> setting = ExperimentSetting(num_clients=10, num_rounds=5)
+>>> outcomes = run_lodo_protocol(suite, PardonStrategy, setting)
+
+Subpackages:
+
+* ``repro.core`` — PARDON itself (style pipeline + contrastive training);
+* ``repro.baselines`` — FedAvg, FedSR, FedGMA, FPL, FedDG-GA, CCST;
+* ``repro.fl`` — the federated simulation substrate;
+* ``repro.data`` — synthetic PACS / Office-Home / IWildCam stand-ins;
+* ``repro.style`` — frozen encoders + AdaIN;
+* ``repro.clustering`` — FINCH;
+* ``repro.privacy`` — style-inversion attacks and reconstruction metrics;
+* ``repro.eval`` — LODO/LTDO protocols, metrics, loss landscapes;
+* ``repro.nn`` — the from-scratch numpy NN framework everything trains on.
+"""
+
+from repro.core import PardonConfig, PardonStrategy
+from repro.baselines import (
+    CCSTStrategy,
+    FedAvgStrategy,
+    FedDGGAStrategy,
+    FedGMAStrategy,
+    FedSRStrategy,
+    FPLStrategy,
+)
+from repro.data import (
+    synthetic_iwildcam,
+    synthetic_office_home,
+    synthetic_pacs,
+)
+from repro.eval import (
+    ExperimentSetting,
+    run_fixed_split_protocol,
+    run_lodo_protocol,
+    run_ltdo_protocol,
+    run_split_experiment,
+)
+from repro.fl import (
+    Client,
+    FederatedConfig,
+    FederatedServer,
+    LocalTrainingConfig,
+    Strategy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PardonConfig",
+    "PardonStrategy",
+    "FedAvgStrategy",
+    "FedSRStrategy",
+    "FedGMAStrategy",
+    "FPLStrategy",
+    "FedDGGAStrategy",
+    "CCSTStrategy",
+    "synthetic_pacs",
+    "synthetic_office_home",
+    "synthetic_iwildcam",
+    "ExperimentSetting",
+    "run_lodo_protocol",
+    "run_ltdo_protocol",
+    "run_fixed_split_protocol",
+    "run_split_experiment",
+    "Client",
+    "FederatedConfig",
+    "FederatedServer",
+    "LocalTrainingConfig",
+    "Strategy",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""FedAvg (McMahan et al., 2017): the plain federated baseline.
+
+Local cross-entropy training plus data-size-weighted averaging — exactly the
+:class:`repro.fl.Strategy` defaults, named here so benchmarks can include it
+as the no-DG reference point.
+"""
+
+from __future__ import annotations
+
+from repro.fl.strategy import Strategy
+
+__all__ = ["FedAvgStrategy"]
+
+
+class FedAvgStrategy(Strategy):
+    """Plain FedAvg; inherits default local update and aggregation."""
+
+    name = "fedavg"

@@ -1,0 +1,108 @@
+"""FedDG-GA (Zhang et al., CVPR 2023): generalization adjustment.
+
+A pure aggregation-side method: the server maintains a per-client
+aggregation weight and, after each round, nudges weights toward clients on
+which the *new global model* still has a high generalization gap (loss), so
+hard clients — often those holding domains the current model handles
+poorly — gain influence.  Weights are smoothed with momentum, floored, and
+renormalized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fl.evaluation import evaluate_loss
+from repro.fl.client import Client
+from repro.fl.strategy import LocalTrainingConfig, Strategy
+from repro.nn.models import FeatureClassifierModel
+from repro.nn.serialize import StateDict, average_states
+
+__all__ = ["FedDGGAStrategy"]
+
+
+class FedDGGAStrategy(Strategy):
+    """FedDG-GA: generalization-gap-adjusted aggregation weights."""
+
+    name = "feddg_ga"
+
+    def __init__(
+        self,
+        step_size: float = 0.2,
+        momentum: float = 0.5,
+        weight_floor: float = 0.05,
+        local_config: LocalTrainingConfig | None = None,
+    ) -> None:
+        super().__init__(local_config)
+        if step_size < 0:
+            raise ValueError(f"step_size must be >= 0, got {step_size}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_floor <= 0:
+            raise ValueError(f"weight_floor must be positive, got {weight_floor}")
+        self.step_size = step_size
+        self.momentum = momentum
+        self.weight_floor = weight_floor
+        self.client_weights: dict[int, float] = {}
+        self._gap_trace: dict[int, float] = {}
+        self._model_ref: FeatureClassifierModel | None = None
+
+    def prepare(
+        self,
+        clients: list[Client],
+        model: FeatureClassifierModel,
+        rng: np.random.Generator,
+    ) -> None:
+        # Keep a handle on the workspace model for gap evaluation; the
+        # simulation core reloads its weights before every use, so mutating
+        # them inside aggregate() is safe.
+        self._model_ref = model
+        for client in clients:
+            self.client_weights.setdefault(client.client_id, 1.0)
+
+    def aggregate(
+        self,
+        global_state: StateDict,
+        updates: list[tuple[Client, StateDict]],
+        round_index: int,
+    ) -> StateDict:
+        if not updates:
+            return global_state
+        # Aggregate with the adjusted weights (renormalized over this
+        # round's participants).
+        raw = np.array(
+            [
+                self.client_weights.get(client.client_id, 1.0)
+                for client, _ in updates
+            ]
+        )
+        new_state = average_states([state for _, state in updates], raw)
+
+        # Measure the generalization gap of the new global model on each
+        # participant and adjust weights for future rounds.
+        if self._model_ref is not None and self.step_size > 0:
+            self._model_ref.load_state_dict(new_state)
+            gaps = np.array(
+                [
+                    evaluate_loss(self._model_ref, client.dataset)
+                    for client, _ in updates
+                ]
+            )
+            self._gap_trace = {
+                client.client_id: float(gap)
+                for (client, _), gap in zip(updates, gaps)
+            }
+            centered = gaps - gaps.mean()
+            scale = np.max(np.abs(centered))
+            if scale > 0:
+                adjustment = self.step_size * centered / scale
+                for (client, _), delta in zip(updates, adjustment):
+                    old = self.client_weights.get(client.client_id, 1.0)
+                    updated = (
+                        self.momentum * old
+                        + (1.0 - self.momentum) * (old + float(delta))
+                    )
+                    self.client_weights[client.client_id] = max(
+                        updated, self.weight_floor
+                    )
+        return new_state

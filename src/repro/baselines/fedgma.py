@@ -1,0 +1,67 @@
+"""FedGMA (Tenison et al., TMLR 2023): gradient-masked averaging.
+
+The server inspects the *sign agreement* of client updates element-wise.
+Where clients agree on the update direction (agreement above a threshold),
+the averaged update passes through at full strength; where they disagree —
+which under domain shift marks domain-specific parameters — the update is
+attenuated by its agreement score.  This is a pure aggregation-side method:
+local training is plain cross-entropy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fl.client import Client
+from repro.fl.strategy import LocalTrainingConfig, Strategy
+from repro.nn.serialize import StateDict, state_sub
+
+__all__ = ["FedGMAStrategy"]
+
+
+class FedGMAStrategy(Strategy):
+    """FedGMA: agreement-masked server aggregation over update deltas."""
+
+    name = "fedgma"
+
+    def __init__(
+        self,
+        agreement_threshold: float = 0.8,
+        server_lr: float = 1.0,
+        local_config: LocalTrainingConfig | None = None,
+    ) -> None:
+        super().__init__(local_config)
+        if not 0.0 <= agreement_threshold <= 1.0:
+            raise ValueError(
+                f"agreement_threshold must be in [0, 1], got {agreement_threshold}"
+            )
+        if server_lr <= 0:
+            raise ValueError(f"server_lr must be positive, got {server_lr}")
+        self.agreement_threshold = agreement_threshold
+        self.server_lr = server_lr
+
+    def aggregate(
+        self,
+        global_state: StateDict,
+        updates: list[tuple[Client, StateDict]],
+        round_index: int,
+    ) -> StateDict:
+        if not updates:
+            return global_state
+        weights = np.array(
+            [max(float(client.num_samples), 1.0) for client, _ in updates]
+        )
+        weights = weights / weights.sum()
+        deltas = [state_sub(state, global_state) for _, state in updates]
+
+        new_state: StateDict = {}
+        for key in global_state:
+            stacked = np.stack([delta[key] for delta in deltas])
+            signs = np.sign(stacked)
+            agreement = np.abs(
+                np.tensordot(weights, signs, axes=(0, 0))
+            )  # in [0, 1] element-wise
+            mean_delta = np.tensordot(weights, stacked, axes=(0, 0))
+            mask = np.where(agreement >= self.agreement_threshold, 1.0, agreement)
+            new_state[key] = global_state[key] + self.server_lr * mask * mean_delta
+        return new_state

@@ -1,0 +1,169 @@
+"""FPL (Huang et al., CVPR 2023): federated prototype learning under domain
+shift.
+
+Clients upload per-class embedding prototypes alongside their weights.  The
+server builds *unbiased* class prototypes by clustering each class's client
+prototypes (so one dominant domain cannot own the class centre) and
+averaging at the cluster level.  Clients then regularize local training by
+a prototype-contrastive term: each embedding is pulled toward its class's
+global prototype and pushed from the others via an InfoNCE head over
+negative squared distances (prototypes treated as constants).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.finch import finch
+from repro.fl.client import Client
+from repro.fl.strategy import LocalTrainingConfig, Strategy
+from repro.nn.functional import softmax
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.models import FeatureClassifierModel
+from repro.nn.serialize import StateDict
+
+__all__ = ["FPLStrategy"]
+
+
+class FPLStrategy(Strategy):
+    """FPL: unbiased cluster prototypes + prototype-contrastive regularizer."""
+
+    name = "fpl"
+
+    def __init__(
+        self,
+        proto_weight: float = 0.5,
+        temperature: float = 0.5,
+        local_config: LocalTrainingConfig | None = None,
+    ) -> None:
+        super().__init__(local_config)
+        if proto_weight < 0:
+            raise ValueError(f"proto_weight must be >= 0, got {proto_weight}")
+        if temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {temperature}")
+        self.proto_weight = proto_weight
+        self.temperature = temperature
+        # class id -> (embed_dim,) unbiased global prototype
+        self.global_prototypes: dict[int, np.ndarray] = {}
+        # staging area: class id -> list of client prototypes this round
+        self._round_prototypes: dict[int, list[np.ndarray]] = {}
+
+    # -- client side ----------------------------------------------------------
+
+    def _prototype_gradient(
+        self, embeddings: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """InfoNCE over cosine similarities to the global prototypes.
+
+        Embeddings and prototypes are L2-normalized before the similarity —
+        FPL's contrastive head operates on the unit sphere, which also keeps
+        the regularizer bounded and numerically stable.  Returns
+        ``(loss, grad_wrt_embeddings)``.  Classes without a global prototype
+        yet (first round, or absent everywhere) are skipped.
+        """
+        known = sorted(self.global_prototypes)
+        if not known:
+            return 0.0, np.zeros_like(embeddings)
+        usable = np.isin(labels, known)
+        if not np.any(usable):
+            return 0.0, np.zeros_like(embeddings)
+        proto_matrix = np.stack([self.global_prototypes[c] for c in known])
+        proto_norms = np.linalg.norm(proto_matrix, axis=1, keepdims=True)
+        proto_unit = proto_matrix / np.maximum(proto_norms, 1e-12)
+        class_to_column = {c: i for i, c in enumerate(known)}
+
+        z = embeddings[usable]
+        y = np.array([class_to_column[int(label)] for label in labels[usable]])
+        z_norms = np.linalg.norm(z, axis=1, keepdims=True)
+        z_unit = z / np.maximum(z_norms, 1e-12)
+        logits = z_unit @ proto_unit.T / self.temperature
+        probs = softmax(logits, axis=1)
+        count = z.shape[0]
+        loss = float(-np.mean(np.log(probs[np.arange(count), y] + 1e-12)))
+        grad_logits = probs.copy()
+        grad_logits[np.arange(count), y] -= 1.0
+        grad_logits /= count
+        # Chain through the normalization: d z_unit / d z projects out the
+        # radial component.
+        grad_unit = grad_logits @ proto_unit / self.temperature
+        radial = np.sum(grad_unit * z_unit, axis=1, keepdims=True)
+        grad_z = (grad_unit - radial * z_unit) / np.maximum(z_norms, 1e-12)
+        full_grad = np.zeros_like(embeddings)
+        full_grad[usable] = grad_z
+        return loss, full_grad
+
+    def local_update(
+        self,
+        client: Client,
+        model: FeatureClassifierModel,
+        round_index: int,
+        rng: np.random.Generator,
+    ) -> tuple[StateDict, float]:
+        if client.num_samples == 0:
+            return model.state_dict(), 0.0
+        images = client.dataset.images
+        labels = client.dataset.labels
+        model.train()
+        optimizer = self.local_config.make_optimizer(model)
+        criterion = CrossEntropyLoss()
+        losses: list[float] = []
+        n = images.shape[0]
+        for _ in range(self.local_config.local_epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.local_config.batch_size):
+                idx = order[start : start + self.local_config.batch_size]
+                model.zero_grad()
+                embeddings = model.forward_features(images[idx])
+                logits = model.forward_logits(embeddings)
+                ce_loss = criterion.forward(logits, labels[idx])
+                proto_loss, proto_grad = self._prototype_gradient(
+                    embeddings, labels[idx]
+                )
+                model.backward(
+                    grad_logits=criterion.backward(),
+                    grad_embedding=self.proto_weight * proto_grad,
+                )
+                optimizer.step()
+                losses.append(ce_loss + self.proto_weight * proto_loss)
+
+        # Upload this client's per-class prototypes for the server round.
+        model.eval()
+        all_embeddings = []
+        for start in range(0, n, 256):
+            all_embeddings.append(
+                model.forward_features(images[start : start + 256])
+            )
+        embeddings = np.concatenate(all_embeddings, axis=0)
+        for label in np.unique(labels):
+            prototype = embeddings[labels == label].mean(axis=0)
+            self._round_prototypes.setdefault(int(label), []).append(prototype)
+        model.train()
+        return model.state_dict(), float(np.mean(losses)) if losses else 0.0
+
+    # -- server side ------------------------------------------------------------
+
+    def aggregate(
+        self,
+        global_state: StateDict,
+        updates: list[tuple[Client, StateDict]],
+        round_index: int,
+    ) -> StateDict:
+        new_state = super().aggregate(global_state, updates, round_index)
+        # Unbiased prototype fusion: cluster each class's client prototypes,
+        # average inside clusters, then average the cluster centres.
+        for label, prototypes in self._round_prototypes.items():
+            matrix = np.stack(prototypes)
+            if matrix.shape[0] >= 3:
+                labels = finch(matrix, metric="cosine").last
+                cluster_means = np.stack(
+                    [
+                        matrix[labels == cluster].mean(axis=0)
+                        for cluster in range(int(labels.max()) + 1)
+                    ]
+                )
+                fused = cluster_means.mean(axis=0)
+            else:
+                fused = matrix.mean(axis=0)
+            self.global_prototypes[label] = fused
+        self._round_prototypes = {}
+        return new_state

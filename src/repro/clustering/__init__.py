@@ -1,0 +1,19 @@
+"""``repro.clustering`` — FINCH first-neighbour clustering.
+
+The parameter-free clustering PARDON applies at both the client (sample
+styles) and server (client styles) levels.
+"""
+
+from repro.clustering.finch import (
+    FinchResult,
+    cosine_similarity_matrix,
+    finch,
+    first_neighbours,
+)
+
+__all__ = [
+    "FinchResult",
+    "finch",
+    "first_neighbours",
+    "cosine_similarity_matrix",
+]

@@ -1,0 +1,181 @@
+"""FINCH: parameter-free first-neighbour clustering (Sarfraz et al., CVPR'19).
+
+PARDON uses FINCH twice (paper Eq. 1 and Eq. 3): on each client, to group
+local samples by style so a dominant domain cannot bias the client's style
+summary; and on the server, to group client style vectors before the median
+interpolation.  FINCH needs no cluster count or threshold, which is exactly
+why the paper picks it — each client holds an *unknown* number of domains.
+
+Algorithm: link every point to its first (nearest) neighbour; the connected
+components of the resulting graph (i is linked to j if ``j = nn(i)``,
+``i = nn(j)``, or ``nn(i) = nn(j)``) form the first partition.  Recurse on
+cluster means until everything merges, returning the full hierarchy
+``L = {Gamma_1, ..., Gamma_L}`` with strictly decreasing cluster counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FinchResult", "finch", "first_neighbours", "cosine_similarity_matrix"]
+
+
+def cosine_similarity_matrix(x: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarity; zero vectors are treated as orthogonal."""
+    if x.ndim != 2:
+        raise ValueError(f"expected (n, d) matrix, got shape {x.shape}")
+    norms = np.linalg.norm(x, axis=1, keepdims=True)
+    safe = np.where(norms > 0, norms, 1.0)
+    unit = x / safe
+    similarity = unit @ unit.T
+    # A zero vector has no direction: force similarity 0 against everything.
+    zero_rows = (norms[:, 0] == 0).nonzero()[0]
+    similarity[zero_rows, :] = 0.0
+    similarity[:, zero_rows] = 0.0
+    return similarity
+
+
+def first_neighbours(x: np.ndarray, metric: str = "cosine") -> np.ndarray:
+    """Index of each row's nearest other row under ``metric``.
+
+    ``metric`` is ``"cosine"`` (the paper's choice for style vectors) or
+    ``"euclidean"``.
+    """
+    n = x.shape[0]
+    if n < 2:
+        raise ValueError("first neighbours require at least 2 points")
+    if metric == "cosine":
+        affinity = cosine_similarity_matrix(x)
+    elif metric == "euclidean":
+        sq_norms = np.sum(x**2, axis=1)
+        distances = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (x @ x.T)
+        affinity = -distances
+    else:
+        raise ValueError(f"unknown metric {metric!r}")
+    np.fill_diagonal(affinity, -np.inf)
+    return np.argmax(affinity, axis=1)
+
+
+class _UnionFind:
+    """Standard disjoint-set with path compression and union by size."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = np.arange(n)
+        self.size = np.ones(n, dtype=np.int64)
+
+    def find(self, i: int) -> int:
+        root = i
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[i] != root:
+            self.parent[i], i = root, self.parent[i]
+        return root
+
+    def union(self, i: int, j: int) -> None:
+        root_i, root_j = self.find(i), self.find(j)
+        if root_i == root_j:
+            return
+        if self.size[root_i] < self.size[root_j]:
+            root_i, root_j = root_j, root_i
+        self.parent[root_j] = root_i
+        self.size[root_i] += self.size[root_j]
+
+    def labels(self) -> np.ndarray:
+        roots = np.array([self.find(i) for i in range(len(self.parent))])
+        _, labels = np.unique(roots, return_inverse=True)
+        return labels
+
+
+def _first_neighbour_partition(x: np.ndarray, metric: str) -> np.ndarray:
+    """One FINCH round: components of the first-neighbour graph."""
+    n = x.shape[0]
+    neighbours = first_neighbours(x, metric=metric)
+    uf = _UnionFind(n)
+    for i in range(n):
+        uf.union(i, int(neighbours[i]))
+        # nn(i) == nn(j) linkage is implied transitively by i -- nn(i) unions.
+    return uf.labels()
+
+
+def _cluster_means(x: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Mean of the rows of ``x`` per cluster label (labels must be 0..k-1)."""
+    k = int(labels.max()) + 1
+    sums = np.zeros((k, x.shape[1]))
+    np.add.at(sums, labels, x)
+    counts = np.bincount(labels, minlength=k).astype(np.float64)
+    return sums / counts[:, None]
+
+
+@dataclass
+class FinchResult:
+    """The FINCH hierarchy.
+
+    ``partitions[i]`` assigns every input row a cluster id; successive
+    partitions are strictly coarser.  ``num_clusters[i]`` is the cluster
+    count of partition ``i``.
+    """
+
+    partitions: list[np.ndarray]
+    num_clusters: list[int]
+
+    @property
+    def levels(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def last(self) -> np.ndarray:
+        """The coarsest partition ``Gamma_L`` (smallest cluster count > 1
+        when the data supports it) — the one PARDON consumes."""
+        return self.partitions[-1]
+
+    def clusters_at(self, level: int) -> list[np.ndarray]:
+        """Member indices of each cluster at ``level``."""
+        labels = self.partitions[level]
+        return [np.nonzero(labels == c)[0] for c in range(self.num_clusters[level])]
+
+
+def finch(x: np.ndarray, metric: str = "cosine", min_clusters: int = 1) -> FinchResult:
+    """Run FINCH on the rows of ``x``.
+
+    Parameters
+    ----------
+    x:
+        ``(n, d)`` data matrix.  ``n == 1`` returns the trivial singleton
+        partition; ``n == 0`` raises.
+    metric:
+        ``"cosine"`` or ``"euclidean"``.
+    min_clusters:
+        Stop recursing once a partition reaches this many clusters or fewer
+        (the partition that crossed the threshold is kept).  The default 1
+        returns the complete hierarchy.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"expected (n, d) matrix, got shape {x.shape}")
+    n = x.shape[0]
+    if n == 0:
+        raise ValueError("cannot cluster an empty set")
+    if n == 1:
+        return FinchResult(partitions=[np.zeros(1, dtype=np.int64)], num_clusters=[1])
+
+    partitions: list[np.ndarray] = []
+    num_clusters: list[int] = []
+    labels = _first_neighbour_partition(x, metric)
+    partitions.append(labels)
+    num_clusters.append(int(labels.max()) + 1)
+
+    while num_clusters[-1] > max(min_clusters, 2):
+        means = _cluster_means(x, partitions[-1])
+        meta_labels = _first_neighbour_partition(means, metric)
+        merged = meta_labels[partitions[-1]]
+        count = int(merged.max()) + 1
+        if count >= num_clusters[-1] or count < 2:
+            # Either no merging happened or everything collapsed into the
+            # trivial single cluster; the reference implementation keeps
+            # neither, so the hierarchy ends here.
+            break
+        partitions.append(merged.astype(np.int64))
+        num_clusters.append(count)
+    return FinchResult(partitions=partitions, num_clusters=num_clusters)

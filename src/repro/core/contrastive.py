@@ -1,0 +1,114 @@
+"""The PARDON local-training step (paper §III-B step 3, Eqs. 6–9).
+
+One gradient step processes the original batch and its style-transferred
+counterpart through the *same* feature extractor in a single concatenated
+forward pass (so batch statistics are shared), then routes three gradients
+back through the split entry points of
+:class:`repro.nn.FeatureClassifierModel`:
+
+* cross-entropy on the original logits (intra-client learning);
+* the triplet loss between original embeddings (anchors) and transferred
+  embeddings (positives: same class; negatives: other classes);
+* the embedding-L2 regularizer on both halves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import PardonConfig
+from repro.nn.losses import CrossEntropyLoss, EmbeddingL2Loss, TripletStyleLoss
+from repro.nn.models import FeatureClassifierModel
+from repro.nn.optim import SGD
+
+__all__ = ["PardonStepResult", "pardon_batch_step"]
+
+
+@dataclass(frozen=True)
+class PardonStepResult:
+    """Loss components of one PARDON batch step."""
+
+    cross_entropy: float
+    triplet: float
+    regularization: float
+
+    @property
+    def total(self) -> float:
+        return self.cross_entropy + self.triplet + self.regularization
+
+
+def pardon_batch_step(
+    model: FeatureClassifierModel,
+    images: np.ndarray,
+    transferred: np.ndarray,
+    labels: np.ndarray,
+    config: PardonConfig,
+    optimizer: SGD,
+) -> PardonStepResult:
+    """One optimization step of the composite objective (Eq. 9).
+
+    ``transferred`` must be index-aligned with ``images`` (sample ``i``'s
+    positive anchor is ``transferred[i]``).  When ``config.contrastive`` is
+    off (ablation v3) the transferred half still flows through cross-entropy
+    as plain augmentation, matching the paper's description of that variant.
+    """
+    if images.shape != transferred.shape:
+        raise ValueError(
+            f"original/transferred shape mismatch: "
+            f"{images.shape} vs {transferred.shape}"
+        )
+    batch = images.shape[0]
+    if batch == 0:
+        return PardonStepResult(0.0, 0.0, 0.0)
+
+    model.zero_grad()
+    combined = np.concatenate([images, transferred], axis=0)
+    embeddings = model.forward_features(combined)
+    logits = model.forward_logits(embeddings)
+    anchors = embeddings[:batch]
+    positives = embeddings[batch:]
+
+    grad_logits = np.zeros_like(logits)
+    grad_embedding = np.zeros_like(embeddings)
+
+    ce = CrossEntropyLoss()
+    if config.ce_on_transferred or not config.contrastive:
+        # Transferred images join the supervised objective as augmentation
+        # (always the case in ablation v3, default elsewhere; see
+        # PardonConfig.ce_on_transferred).
+        both_labels = np.concatenate([labels, labels])
+        ce_loss = ce.forward(logits, both_labels)
+        grad_logits[:] = ce.backward()
+    else:
+        # Strict Eq. 9 reading: CE on the original half only; transferred
+        # data teaches through the triplet loss alone.
+        ce_loss = ce.forward(logits[:batch], labels)
+        grad_logits[:batch] = ce.backward()
+
+    triplet_loss = 0.0
+    if config.contrastive and config.gamma_triplet > 0:
+        triplet = TripletStyleLoss(margin=config.margin, hinge=config.triplet_hinge)
+        triplet_loss = triplet.forward(anchors, positives, labels)
+        grad_anchor, grad_positive = triplet.backward()
+        grad_embedding[:batch] += config.gamma_triplet * grad_anchor
+        grad_embedding[batch:] += config.gamma_triplet * grad_positive
+        triplet_loss *= config.gamma_triplet
+
+    reg_loss = 0.0
+    if config.gamma_reg > 0:
+        regularizer = EmbeddingL2Loss()
+        reg_loss = regularizer.forward(anchors, positives)
+        reg_anchor, reg_positive = regularizer.backward()
+        grad_embedding[:batch] += config.gamma_reg * reg_anchor
+        grad_embedding[batch:] += config.gamma_reg * reg_positive
+        reg_loss *= config.gamma_reg
+
+    model.backward(grad_logits=grad_logits, grad_embedding=grad_embedding)
+    optimizer.step()
+    return PardonStepResult(
+        cross_entropy=float(ce_loss),
+        triplet=float(triplet_loss),
+        regularization=float(reg_loss),
+    )

@@ -1,0 +1,56 @@
+"""Server-side interpolation-style extraction (paper §III-B step 2, Eqs. 3–5).
+
+Client style vectors are FINCH-clustered (clients sharing a domain collapse
+into one cluster), each cluster is averaged (Eq. 4), and the global
+interpolation style is the elementwise **median** over cluster styles
+(Eq. 5).  Treating clusters — not clients — as the unit of aggregation, and
+using the median rather than the mean, keeps a dominant domain with many
+clients from monopolizing the global style, which is the mechanism behind
+PARDON's robustness to domain-based client heterogeneity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.finch import finch
+from repro.style.adain import StyleVector
+
+__all__ = ["extract_interpolation_style", "cluster_client_styles"]
+
+
+def cluster_client_styles(client_styles: list[StyleVector]) -> list[StyleVector]:
+    """Group client styles with FINCH and average within each group (Eq. 3–4)."""
+    if not client_styles:
+        raise ValueError("need at least one client style")
+    if len(client_styles) == 1:
+        return list(client_styles)
+    matrix = np.stack([style.to_array() for style in client_styles])
+    labels = finch(matrix, metric="cosine").last
+    styles = []
+    for cluster_id in range(int(labels.max()) + 1):
+        members = matrix[labels == cluster_id]
+        styles.append(StyleVector.from_array(members.mean(axis=0)))
+    return styles
+
+
+def extract_interpolation_style(
+    client_styles: list[StyleVector],
+    use_global_clustering: bool = True,
+) -> StyleVector:
+    """The global interpolation style ``S_g`` (Eq. 5).
+
+    With clustering on: elementwise median over cluster styles.  With
+    clustering off (ablation v2/v4): plain mean over client styles.
+    """
+    if not client_styles:
+        raise ValueError("need at least one client style")
+    dims = {style.dim for style in client_styles}
+    if len(dims) != 1:
+        raise ValueError(f"client styles disagree on dimension: {sorted(dims)}")
+    if not use_global_clustering:
+        matrix = np.stack([style.to_array() for style in client_styles])
+        return StyleVector.from_array(matrix.mean(axis=0))
+    cluster_styles = cluster_client_styles(client_styles)
+    matrix = np.stack([style.to_array() for style in cluster_styles])
+    return StyleVector.from_array(np.median(matrix, axis=0))

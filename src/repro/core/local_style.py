@@ -1,0 +1,67 @@
+"""Client-side style calculation (paper §III-B step 1, Eqs. 1–2).
+
+Each client encodes its images with the frozen public encoder, groups the
+per-sample style statistics with FINCH so minority domains inside the client
+are not drowned out by the dominant one, computes each cluster's pooled
+style from the concatenated member features (Eq. 2), and summarizes itself
+as the *average of cluster styles* — one ``R^{2d}`` vector, the only thing
+the client ever uploads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.finch import finch
+from repro.style.adain import StyleVector, per_sample_style_stats, pooled_style
+from repro.style.encoder import InvertibleEncoder
+
+__all__ = ["compute_client_style", "cluster_styles_of_features"]
+
+
+def cluster_styles_of_features(features: np.ndarray) -> list[StyleVector]:
+    """FINCH-cluster per-sample styles; return each cluster's pooled style.
+
+    Implements Eq. 1 + Eq. 2: samples are grouped by the cosine similarity
+    of their style statistics (styles from different domains are unlikely to
+    be first neighbours), then each cluster's style is the pixel-level
+    channel-wise mean/std over all member feature maps jointly.
+    """
+    if features.ndim != 4:
+        raise ValueError(f"features must be (N, C, H, W), got {features.shape}")
+    n = features.shape[0]
+    if n == 0:
+        raise ValueError("cannot compute styles of an empty feature set")
+    if n == 1:
+        return [pooled_style(features)]
+    mu, sigma = per_sample_style_stats(features)
+    style_matrix = np.concatenate([mu, sigma], axis=1)
+    hierarchy = finch(style_matrix, metric="cosine")
+    labels = hierarchy.last
+    styles = []
+    for cluster_id in range(int(labels.max()) + 1):
+        members = np.nonzero(labels == cluster_id)[0]
+        styles.append(pooled_style(features[members]))
+    return styles
+
+
+def compute_client_style(
+    images: np.ndarray,
+    encoder: InvertibleEncoder,
+    use_local_clustering: bool = True,
+) -> StyleVector:
+    """The client's uploaded style statistic ``S_bar_Ck`` (paper §III-B).
+
+    With clustering on, this is the unweighted mean of cluster styles —
+    deliberately *not* sample-weighted, so a domain with few samples inside
+    the client contributes as much as the dominant one.  With clustering off
+    (ablation v1/v4) it degrades to the plain pooled style of all samples.
+    """
+    if images.shape[0] == 0:
+        raise ValueError("client has no data to compute a style from")
+    features = encoder.encode(images)
+    if not use_local_clustering:
+        return pooled_style(features)
+    styles = cluster_styles_of_features(features)
+    stacked = np.stack([s.to_array() for s in styles])
+    return StyleVector.from_array(stacked.mean(axis=0))

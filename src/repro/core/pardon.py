@@ -1,0 +1,154 @@
+"""PARDON as a federated strategy (the paper's primary contribution).
+
+The four steps of Fig. 2 map onto the strategy hooks as follows:
+
+1. **Local style calculation** + 2. **interpolation style extraction** run in
+   :meth:`PardonStrategy.prepare`, *once, before round 1, over all clients*
+   — this is what makes the method robust to client sampling: the global
+   style already carries every client's domain knowledge even if a client is
+   never sampled again.
+3. **Contrastive local training** is :meth:`PardonStrategy.local_update`:
+   each participant style-transfers its data to the interpolation style and
+   optimizes Eq. 9.
+4. **Aggregation** is inherited data-size-weighted FedAvg.
+
+Ablation variants v1–v5 (paper Table V) are selected purely through
+:class:`repro.core.config.PardonConfig`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import PardonConfig
+from repro.core.contrastive import pardon_batch_step
+from repro.core.interpolation import extract_interpolation_style
+from repro.core.local_style import compute_client_style
+from repro.fl.client import Client
+from repro.fl.strategy import LocalTrainingConfig, Strategy
+from repro.nn.models import FeatureClassifierModel
+from repro.nn.serialize import StateDict
+from repro.style.adain import StyleVector, apply_style_to_images
+from repro.style.encoder import InvertibleEncoder
+from repro.utils.logging import get_logger
+
+__all__ = ["PardonStrategy"]
+
+_LOG = get_logger("core.pardon")
+_TRANSFER_CACHE_KEY = "pardon_transferred"
+
+
+class PardonStrategy(Strategy):
+    """Privacy-aware robust federated domain generalization (PARDON)."""
+
+    name = "pardon"
+
+    def __init__(
+        self,
+        config: PardonConfig | None = None,
+        local_config: LocalTrainingConfig | None = None,
+        encoder: InvertibleEncoder | None = None,
+    ) -> None:
+        super().__init__(local_config)
+        self.config = config or PardonConfig()
+        self.encoder = encoder or InvertibleEncoder(
+            levels=self.config.encoder_levels, seed=self.config.encoder_seed
+        )
+        self.interpolation_style: StyleVector | None = None
+        self.client_styles: dict[int, StyleVector] = {}
+
+    # -- steps 1 + 2: one-time style pipeline --------------------------------
+
+    def prepare(
+        self,
+        clients: list[Client],
+        model: FeatureClassifierModel,
+        rng: np.random.Generator,
+    ) -> None:
+        """Collect every client's style and extract the interpolation style.
+
+        Only the per-client ``R^{2d}`` statistics travel to the server;
+        the privacy experiments (``repro.privacy``) quantify how little they
+        leak.
+        """
+        self.client_styles = {}
+        for client in clients:
+            if client.num_samples == 0:
+                continue
+            self.client_styles[client.client_id] = compute_client_style(
+                client.dataset.images,
+                self.encoder,
+                use_local_clustering=self.config.local_clustering,
+            )
+        if not self.client_styles:
+            raise ValueError("no client has data; cannot extract a style")
+        self.interpolation_style = extract_interpolation_style(
+            list(self.client_styles.values()),
+            use_global_clustering=self.config.global_clustering,
+        )
+        _LOG.info(
+            "interpolation style extracted from %d clients (dim=%d)",
+            len(self.client_styles),
+            self.interpolation_style.dim,
+        )
+
+    # -- step 3: contrastive local training ----------------------------------
+
+    def _transferred_images(
+        self, client: Client, rng: np.random.Generator
+    ) -> np.ndarray:
+        """The client's data re-styled for this round.
+
+        Full PARDON transfers to the interpolation style; because both the
+        data and the style are fixed, the result is cached in the client's
+        scratch space after the first round.  Variant v4 replaces style
+        transfer with generic augmentation (noise + circular shifts), drawn
+        fresh each round.
+        """
+        if not self.config.style_positives:
+            from repro.data.transforms import standard_augmentation
+
+            return standard_augmentation()(client.dataset.images, rng)
+        cached = client.scratch.get(_TRANSFER_CACHE_KEY)
+        if cached is not None:
+            return cached
+        if self.interpolation_style is None:
+            raise RuntimeError("prepare() must run before local_update()")
+        transferred = apply_style_to_images(
+            client.dataset.images, self.interpolation_style, self.encoder
+        )
+        client.scratch[_TRANSFER_CACHE_KEY] = transferred
+        return transferred
+
+    def local_update(
+        self,
+        client: Client,
+        model: FeatureClassifierModel,
+        round_index: int,
+        rng: np.random.Generator,
+    ) -> tuple[StateDict, float]:
+        if client.num_samples == 0:
+            return model.state_dict(), 0.0
+        images = client.dataset.images
+        labels = client.dataset.labels
+        transferred = self._transferred_images(client, rng)
+
+        model.train()
+        optimizer = self.local_config.make_optimizer(model)
+        config = self.local_config
+        losses: list[float] = []
+        n = images.shape[0]
+        for _ in range(config.local_epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, config.batch_size):
+                batch_idx = order[start : start + config.batch_size]
+                result = pardon_batch_step(
+                    model=model,
+                    images=images[batch_idx],
+                    transferred=transferred[batch_idx],
+                    labels=labels[batch_idx],
+                    config=self.config,
+                    optimizer=optimizer,
+                )
+                losses.append(result.total)
+        return model.state_dict(), float(np.mean(losses)) if losses else 0.0

@@ -1,0 +1,52 @@
+"""Minibatch iteration with seeded shuffling."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.synthetic import LabeledDataset
+
+__all__ = ["Batcher"]
+
+
+class Batcher:
+    """Iterate a dataset in shuffled minibatches, reproducibly.
+
+    Each call to :meth:`epoch` reshuffles with the generator handed in at
+    construction, so a client's local epochs are deterministic under a fixed
+    seed tree while still varying round to round.
+    """
+
+    def __init__(
+        self,
+        dataset: LabeledDataset,
+        batch_size: int,
+        rng: np.random.Generator,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.drop_last = drop_last
+        self._rng = rng
+
+    def __len__(self) -> int:
+        """Number of batches per epoch."""
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def epoch(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(images, labels)`` minibatches for one shuffled epoch."""
+        n = len(self.dataset)
+        if n == 0:
+            return
+        order = self._rng.permutation(n)
+        limit = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, limit, self.batch_size):
+            indices = order[start : start + self.batch_size]
+            yield self.dataset.images[indices], self.dataset.labels[indices]

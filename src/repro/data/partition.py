@@ -1,0 +1,180 @@
+"""Domain-based client heterogeneity partitioning (paper Definition 4).
+
+Following the benchmark of Bai et al. (ICLR 2024) the paper builds on, each
+client's data distribution is a mixture of training-domain distributions
+``D_i = sum_d w_{i,d} * S_d``.  The mixing is controlled by a single
+heterogeneity level ``lambda``:
+
+* ``lambda = 0`` — *domain separation*: every client draws from exactly one
+  domain (its "home" domain, assigned round-robin so all domains are covered);
+* ``lambda = 1`` — *homogeneous*: every client draws from the uniform mixture
+  over all training domains;
+* intermediate values interpolate the mixture weights linearly:
+  ``w_i = (1 - lambda) * onehot(home_i) + lambda * uniform``.
+
+Samples are assigned without replacement, conserving every sample exactly
+once across clients — an invariant the property tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.synthetic import DomainSuite, LabeledDataset
+
+__all__ = ["ClientPartition", "partition_clients", "lodo_splits", "ltdo_splits"]
+
+
+@dataclass
+class ClientPartition:
+    """The result of partitioning: one dataset per client plus bookkeeping."""
+
+    client_datasets: list[LabeledDataset]
+    home_domains: list[int]
+    mixture_weights: np.ndarray  # (n_clients, n_domains), rows sum to 1
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.client_datasets)
+
+    def client_sizes(self) -> list[int]:
+        return [len(dataset) for dataset in self.client_datasets]
+
+
+def partition_clients(
+    suite: DomainSuite,
+    train_domain_indices: list[int],
+    num_clients: int,
+    heterogeneity: float,
+    rng: np.random.Generator,
+) -> ClientPartition:
+    """Split the training domains' data across ``num_clients`` clients.
+
+    Parameters
+    ----------
+    suite:
+        The domain suite to partition.
+    train_domain_indices:
+        Which domains participate in training (the LODO/LTDO train split).
+    num_clients:
+        Number of federated clients ``N``.
+    heterogeneity:
+        The ``lambda`` level in [0, 1]; see module docstring.
+    rng:
+        Controls home-domain assignment shuffling and sample routing.
+    """
+    if not 0.0 <= heterogeneity <= 1.0:
+        raise ValueError(f"heterogeneity must be in [0, 1], got {heterogeneity}")
+    if num_clients < 1:
+        raise ValueError(f"need at least one client, got {num_clients}")
+    if not train_domain_indices:
+        raise ValueError("train_domain_indices must not be empty")
+
+    n_domains = len(train_domain_indices)
+    # Home domains: round-robin over a shuffled client order so every domain
+    # has clients even when num_clients >> n_domains.
+    order = rng.permutation(num_clients)
+    home = np.empty(num_clients, dtype=np.int64)
+    for position, client in enumerate(order):
+        home[client] = position % n_domains
+
+    uniform = np.full(n_domains, 1.0 / n_domains)
+    weights = np.zeros((num_clients, n_domains))
+    for client in range(num_clients):
+        onehot = np.zeros(n_domains)
+        onehot[home[client]] = 1.0
+        weights[client] = (1.0 - heterogeneity) * onehot + heterogeneity * uniform
+
+    # Route each domain's samples to clients proportionally to the clients'
+    # weight on that domain (largest-remainder apportionment, then shuffle).
+    per_client_indices: list[list[tuple[int, np.ndarray]]] = [
+        [] for _ in range(num_clients)
+    ]
+    for local_domain, domain_index in enumerate(train_domain_indices):
+        dataset = suite.datasets[domain_index]
+        n_samples = len(dataset)
+        if n_samples == 0:
+            continue
+        share = weights[:, local_domain]
+        total_share = share.sum()
+        if total_share <= 0:
+            # No client carries weight on this domain (possible when
+            # num_clients < num_domains at lambda = 0).  Every sample must
+            # still land somewhere: spread the domain uniformly.
+            share = np.full(num_clients, 1.0)
+            total_share = float(num_clients)
+        quota = share / total_share * n_samples
+        counts = np.floor(quota).astype(np.int64)
+        remainder = n_samples - counts.sum()
+        if remainder > 0:
+            fractional = quota - counts
+            # Break ties randomly but reproducibly.
+            order = np.argsort(-(fractional + 1e-9 * rng.random(num_clients)))
+            counts[order[:remainder]] += 1
+        sample_order = rng.permutation(n_samples)
+        offset = 0
+        for client in range(num_clients):
+            take = counts[client]
+            if take:
+                per_client_indices[client].append(
+                    (domain_index, sample_order[offset : offset + take])
+                )
+                offset += take
+
+    client_datasets: list[LabeledDataset] = []
+    empty_shape = (0,) + suite.image_shape
+    for client in range(num_clients):
+        parts = [
+            suite.datasets[domain_index].subset(indices)
+            for domain_index, indices in per_client_indices[client]
+        ]
+        parts = [p for p in parts if len(p)]
+        if parts:
+            client_datasets.append(LabeledDataset.concatenate(parts))
+        else:
+            client_datasets.append(
+                LabeledDataset(
+                    images=np.zeros(empty_shape),
+                    labels=np.zeros(0, dtype=np.int64),
+                    domain_ids=np.zeros(0, dtype=np.int64),
+                )
+            )
+    return ClientPartition(
+        client_datasets=client_datasets,
+        home_domains=[int(h) for h in home],
+        mixture_weights=weights,
+    )
+
+
+def lodo_splits(num_domains: int) -> list[dict[str, list[int]]]:
+    """Leave-One-Domain-Out splits (paper Table II).
+
+    For each domain ``d``: train on all others, validate/test on ``d``.
+    """
+    if num_domains < 2:
+        raise ValueError("LODO needs at least 2 domains")
+    splits = []
+    for held_out in range(num_domains):
+        train = [d for d in range(num_domains) if d != held_out]
+        splits.append({"train": train, "val": [held_out], "test": [held_out]})
+    return splits
+
+
+def ltdo_splits(num_domains: int) -> list[dict[str, list[int]]]:
+    """Leave-Two-Domains-Out splits (paper Table I, after Bai et al.).
+
+    A rotation scheme in which every domain appears exactly once as the
+    validation domain and exactly once as the test domain: split ``i`` holds
+    out ``(val=i, test=i+1 mod M)`` and trains on the remaining ``M - 2``.
+    """
+    if num_domains < 3:
+        raise ValueError("LTDO needs at least 3 domains")
+    splits = []
+    for index in range(num_domains):
+        val = index
+        test = (index + 1) % num_domains
+        train = [d for d in range(num_domains) if d not in (val, test)]
+        splits.append({"train": train, "val": [val], "test": [test]})
+    return splits

@@ -1,0 +1,183 @@
+"""Evaluation protocols: LODO, LTDO, and the fixed-split IWildCam scheme.
+
+These functions orchestrate whole experiments — partition the training
+domains across clients with a heterogeneity level, run the federated loop
+for one strategy, and report unseen-domain accuracy — so the benchmark for
+each table is a thin loop over (method, split).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.data.partition import lodo_splits, ltdo_splits, partition_clients
+from repro.data.synthetic import DomainSuite, LabeledDataset
+from repro.fl.client import Client
+from repro.fl.server import FederatedConfig, FederatedResult, FederatedServer
+from repro.fl.strategy import Strategy
+from repro.nn.models import FeatureClassifierModel, build_cnn_model
+from repro.utils.rng import SeedTree
+
+__all__ = [
+    "ExperimentSetting",
+    "SplitOutcome",
+    "run_split_experiment",
+    "run_lodo_protocol",
+    "run_ltdo_protocol",
+    "run_fixed_split_protocol",
+    "make_clients",
+]
+
+StrategyFactory = Callable[[], Strategy]
+ModelFactory = Callable[[np.random.Generator], FeatureClassifierModel]
+
+
+@dataclass(frozen=True)
+class ExperimentSetting:
+    """Everything that defines one federated DG experiment besides the
+    method itself (so all methods share it exactly)."""
+
+    num_clients: int = 20
+    clients_per_round: int | float = 0.25
+    heterogeneity: float = 0.1
+    num_rounds: int = 10
+    eval_every: int = 1
+    seed: int = 0
+    model_widths: tuple[int, int] = (16, 32)
+    embed_dim: int = 64
+
+    def model_factory(self, suite: DomainSuite) -> ModelFactory:
+        def build(rng: np.random.Generator) -> FeatureClassifierModel:
+            return build_cnn_model(
+                suite.image_shape,
+                suite.num_classes,
+                rng=rng,
+                widths=self.model_widths,
+                embed_dim=self.embed_dim,
+            )
+
+        return build
+
+
+@dataclass
+class SplitOutcome:
+    """Result of one (strategy, split) run."""
+
+    val_accuracy: float
+    test_accuracy: float
+    result: FederatedResult
+    val_domains: list[str] = field(default_factory=list)
+    test_domains: list[str] = field(default_factory=list)
+
+
+def make_clients(
+    suite: DomainSuite,
+    train_domains: list[int],
+    setting: ExperimentSetting,
+    seed_label: object = "partition",
+) -> list[Client]:
+    """Partition the training pool into the experiment's client population."""
+    tree = SeedTree(setting.seed).child(suite.name, seed_label)
+    partition = partition_clients(
+        suite,
+        train_domains,
+        setting.num_clients,
+        setting.heterogeneity,
+        tree.generator("assign"),
+    )
+    return [
+        Client(client_id=index, dataset=dataset)
+        for index, dataset in enumerate(partition.client_datasets)
+    ]
+
+
+def run_split_experiment(
+    suite: DomainSuite,
+    split: dict[str, list[int]],
+    strategy: Strategy,
+    setting: ExperimentSetting,
+) -> SplitOutcome:
+    """Run one strategy on one (train, val, test) domain split."""
+    clients = make_clients(suite, split["train"], setting, seed_label=tuple(split["train"]))
+    tree = SeedTree(setting.seed).child(suite.name, "model")
+    model = setting.model_factory(suite)(tree.generator("init"))
+    eval_sets = {
+        "val": suite.merged(split["val"]),
+        "test": suite.merged(split["test"]),
+    }
+    server = FederatedServer(
+        strategy=strategy,
+        clients=clients,
+        model=model,
+        eval_sets=eval_sets,
+        config=FederatedConfig(
+            num_rounds=setting.num_rounds,
+            clients_per_round=setting.clients_per_round,
+            eval_every=setting.eval_every,
+            seed=setting.seed,
+        ),
+    )
+    result = server.run()
+    return SplitOutcome(
+        val_accuracy=result.final_accuracy["val"],
+        test_accuracy=result.final_accuracy["test"],
+        result=result,
+        val_domains=[suite.domain_names[d] for d in split["val"]],
+        test_domains=[suite.domain_names[d] for d in split["test"]],
+    )
+
+
+def run_lodo_protocol(
+    suite: DomainSuite,
+    strategy_factory: StrategyFactory,
+    setting: ExperimentSetting,
+) -> dict[str, SplitOutcome]:
+    """Leave-One-Domain-Out (paper Table II): one outcome per held-out domain.
+
+    ``strategy_factory`` is called once per split so no method state leaks
+    between splits.
+    """
+    outcomes: dict[str, SplitOutcome] = {}
+    for split in lodo_splits(suite.num_domains):
+        held_out = suite.domain_names[split["val"][0]]
+        outcomes[held_out] = run_split_experiment(
+            suite, split, strategy_factory(), setting
+        )
+    return outcomes
+
+
+def run_ltdo_protocol(
+    suite: DomainSuite,
+    strategy_factory: StrategyFactory,
+    setting: ExperimentSetting,
+) -> dict[str, SplitOutcome]:
+    """Leave-Two-Domains-Out (paper Table I): keyed by the validation domain."""
+    outcomes: dict[str, SplitOutcome] = {}
+    for split in ltdo_splits(suite.num_domains):
+        val_domain = suite.domain_names[split["val"][0]]
+        outcomes[val_domain] = run_split_experiment(
+            suite, split, strategy_factory(), setting
+        )
+    return outcomes
+
+
+def run_fixed_split_protocol(
+    suite: DomainSuite,
+    strategy: Strategy,
+    setting: ExperimentSetting,
+) -> SplitOutcome:
+    """IWildCam-style protocol (paper Table III): the suite's own
+    train/val/test domain roles are fixed; clients hold training domains."""
+    if not (suite.train_domains and suite.val_domains and suite.test_domains):
+        raise ValueError(
+            f"suite {suite.name} does not define fixed train/val/test domains"
+        )
+    split = {
+        "train": suite.train_domains,
+        "val": suite.val_domains,
+        "test": suite.test_domains,
+    }
+    return run_split_experiment(suite, split, strategy, setting)

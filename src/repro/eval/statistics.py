@@ -1,0 +1,74 @@
+"""Multi-seed experiment statistics.
+
+Single federated runs at this scale are noisy (a few points of accuracy);
+the benchmark tables therefore average across seeds.  This module provides
+the aggregation used there plus paired-comparison helpers for stating
+"method A beats method B" with the run-to-run variance in view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["SeedSweepResult", "sweep_seeds", "paired_win_rate", "mean_std"]
+
+
+@dataclass
+class SeedSweepResult:
+    """Accuracies of one configuration across seeds."""
+
+    values: list[float]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI of the mean."""
+        if self.count < 2:
+            return (self.mean, self.mean)
+        half = z * self.std / np.sqrt(self.count)
+        return (self.mean - half, self.mean + half)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f}±{self.std:.3f} (n={self.count})"
+
+
+def sweep_seeds(
+    run: Callable[[int], float], seeds: Sequence[int]
+) -> SeedSweepResult:
+    """Evaluate ``run(seed)`` for every seed and collect the results."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return SeedSweepResult(values=[float(run(seed)) for seed in seeds])
+
+
+def paired_win_rate(a: Sequence[float], b: Sequence[float]) -> float:
+    """Fraction of seeds where ``a`` strictly beats ``b`` (paired by index).
+
+    1.0 means A won on every seed; 0.5 is a coin flip.  Ties count half.
+    """
+    if len(a) != len(b):
+        raise ValueError("paired sequences must have equal length")
+    if not a:
+        raise ValueError("need at least one pair")
+    wins = sum(1.0 if x > y else (0.5 if x == y else 0.0) for x, y in zip(a, b))
+    return wins / len(a)
+
+
+def mean_std(values: Sequence[float]) -> str:
+    """Render ``mean±std`` the way the ablation tables print it."""
+    if not values:
+        raise ValueError("need at least one value")
+    return f"{np.mean(values):.3f}±{np.std(values):.3f}"

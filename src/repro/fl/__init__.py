@@ -1,0 +1,37 @@
+"""``repro.fl`` — the federated-learning simulation substrate.
+
+Method-agnostic round loop (client sampling, broadcast, local update,
+aggregation, evaluation) with per-phase wall-clock instrumentation.  FedDG
+methods plug in through :class:`repro.fl.Strategy`.
+"""
+
+from repro.fl.client import Client
+from repro.fl.communication import CommunicationModel, method_communication
+from repro.fl.evaluation import evaluate_accuracy, evaluate_loss
+from repro.fl.history import RoundRecord, RunHistory
+from repro.fl.sampling import UniformClientSampler
+from repro.fl.secure import SecureAggregator, masked_upload
+from repro.fl.server import FederatedConfig, FederatedResult, FederatedServer
+from repro.fl.strategy import LocalTrainingConfig, Strategy, run_ce_epochs
+from repro.fl.timing import PhaseTimer, TimingReport
+
+__all__ = [
+    "Client",
+    "CommunicationModel",
+    "method_communication",
+    "evaluate_accuracy",
+    "evaluate_loss",
+    "RoundRecord",
+    "RunHistory",
+    "UniformClientSampler",
+    "SecureAggregator",
+    "masked_upload",
+    "FederatedConfig",
+    "FederatedResult",
+    "FederatedServer",
+    "LocalTrainingConfig",
+    "Strategy",
+    "run_ce_epochs",
+    "PhaseTimer",
+    "TimingReport",
+]

@@ -1,0 +1,34 @@
+"""Client abstraction for the federated simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.synthetic import LabeledDataset
+
+__all__ = ["Client"]
+
+
+@dataclass
+class Client:
+    """One federated participant: an id, a private dataset, and scratch state.
+
+    ``scratch`` is a per-client dictionary strategies may use for method
+    state that lives across rounds (e.g. FPL's last-known prototypes).  The
+    simulation core never reads it, which keeps the privacy boundary of each
+    method explicit in the strategy code rather than hidden in the substrate.
+    """
+
+    client_id: int
+    dataset: LabeledDataset
+    scratch: dict = field(default_factory=dict)
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.dataset)
+
+    def domains_present(self) -> np.ndarray:
+        """The distinct source-domain ids in this client's data."""
+        return np.unique(self.dataset.domain_ids)

@@ -1,0 +1,60 @@
+"""Model evaluation helpers used by the simulation core and strategies.
+
+Lives inside ``repro.fl`` so the federated substrate has no dependency on
+the higher-level ``repro.eval`` protocols (which depend on ``repro.fl``).
+``repro.eval.metrics`` re-exports these for the public API.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.synthetic import LabeledDataset
+from repro.nn.functional import accuracy
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.models import FeatureClassifierModel
+
+__all__ = ["evaluate_accuracy", "evaluate_loss", "per_class_accuracy"]
+
+
+def evaluate_accuracy(
+    model: FeatureClassifierModel,
+    dataset: LabeledDataset,
+    batch_size: int = 256,
+) -> float:
+    """Top-1 accuracy of ``model`` on ``dataset`` in evaluation mode."""
+    if len(dataset) == 0:
+        return 0.0
+    logits = model.predict_logits(dataset.images, batch_size=batch_size)
+    return accuracy(logits, dataset.labels)
+
+
+def evaluate_loss(
+    model: FeatureClassifierModel,
+    dataset: LabeledDataset,
+    batch_size: int = 256,
+) -> float:
+    """Mean cross-entropy of ``model`` on ``dataset`` in evaluation mode."""
+    if len(dataset) == 0:
+        return 0.0
+    logits = model.predict_logits(dataset.images, batch_size=batch_size)
+    return CrossEntropyLoss().forward(logits, dataset.labels)
+
+
+def per_class_accuracy(
+    model: FeatureClassifierModel,
+    dataset: LabeledDataset,
+    num_classes: int,
+    batch_size: int = 256,
+) -> np.ndarray:
+    """Accuracy per class; classes absent from ``dataset`` report NaN."""
+    result = np.full(num_classes, np.nan)
+    if len(dataset) == 0:
+        return result
+    logits = model.predict_logits(dataset.images, batch_size=batch_size)
+    predictions = np.argmax(logits, axis=1)
+    for class_id in range(num_classes):
+        mask = dataset.labels == class_id
+        if np.any(mask):
+            result[class_id] = float(np.mean(predictions[mask] == class_id))
+    return result

@@ -1,0 +1,46 @@
+"""Round-by-round run records (convergence curves, final accuracies)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RoundRecord", "RunHistory"]
+
+
+@dataclass
+class RoundRecord:
+    """Metrics of one communication round."""
+
+    round_index: int
+    mean_local_loss: float
+    participants: list[int]
+    eval_accuracy: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class RunHistory:
+    """The full trace of a federated run plus its timing report."""
+
+    strategy_name: str
+    records: list[RoundRecord] = field(default_factory=list)
+
+    def add(self, record: RoundRecord) -> None:
+        self.records.append(record)
+
+    def accuracy_series(self, eval_name: str) -> list[tuple[int, float]]:
+        """(round, accuracy) points for one evaluation set (paper Fig. 3)."""
+        return [
+            (r.round_index, r.eval_accuracy[eval_name])
+            for r in self.records
+            if eval_name in r.eval_accuracy
+        ]
+
+    def final_accuracy(self, eval_name: str) -> float:
+        """Accuracy of the last round that evaluated ``eval_name``."""
+        series = self.accuracy_series(eval_name)
+        if not series:
+            raise KeyError(f"no evaluations recorded for {eval_name!r}")
+        return series[-1][1]
+
+    def loss_series(self) -> list[tuple[int, float]]:
+        return [(r.round_index, r.mean_local_loss) for r in self.records]

@@ -1,0 +1,60 @@
+"""Client sampling: which subset of clients participates each round.
+
+The paper treats client sampling as a first-class experimental axis
+(Fig. 5 and the default 20%/10% participation).  Only clients with data are
+eligible; a round never selects more clients than exist.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fl.client import Client
+
+__all__ = ["UniformClientSampler"]
+
+
+class UniformClientSampler:
+    """Sample ``k`` distinct clients uniformly at random each round.
+
+    Parameters
+    ----------
+    clients_per_round:
+        Either an integer count ``K`` or a fraction in (0, 1] of the total
+        client count (the paper's ``k%``).  At least one client is always
+        selected.
+    """
+
+    def __init__(self, clients_per_round: int | float) -> None:
+        if isinstance(clients_per_round, float) and not clients_per_round.is_integer():
+            if not 0.0 < clients_per_round <= 1.0:
+                raise ValueError(
+                    f"fractional participation must be in (0, 1], "
+                    f"got {clients_per_round}"
+                )
+        elif int(clients_per_round) < 1:
+            raise ValueError(
+                f"clients_per_round must be >= 1, got {clients_per_round}"
+            )
+        self.clients_per_round = clients_per_round
+
+    def round_size(self, num_clients: int) -> int:
+        """Resolve the per-round participant count for ``num_clients``."""
+        if isinstance(self.clients_per_round, float) and (
+            not self.clients_per_round.is_integer()
+        ):
+            k = int(round(self.clients_per_round * num_clients))
+        else:
+            k = int(self.clients_per_round)
+        return max(1, min(k, num_clients))
+
+    def sample(
+        self, clients: list[Client], rng: np.random.Generator
+    ) -> list[Client]:
+        """Select this round's participants (non-empty clients only)."""
+        eligible = [c for c in clients if c.num_samples > 0]
+        if not eligible:
+            raise ValueError("no client has any data")
+        k = self.round_size(len(eligible))
+        chosen = rng.choice(len(eligible), size=k, replace=False)
+        return [eligible[int(i)] for i in chosen]

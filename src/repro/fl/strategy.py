@@ -1,0 +1,136 @@
+"""Strategy interface every FedDG method implements, plus shared training
+helpers.
+
+A strategy owns the three method-specific decision points of federated
+learning:
+
+* :meth:`Strategy.prepare` — one-time setup before round 1 (PARDON extracts
+  the interpolation style here; CCST builds its cross-client style bank);
+* :meth:`Strategy.local_update` — the client-side objective and loop;
+* :meth:`Strategy.aggregate` — how the server merges client states
+  (FedAvg by default; FedGMA masks by gradient sign agreement; FedDG-GA
+  reweights by generalization gap).
+
+The simulation core (:mod:`repro.fl.server`) is method-agnostic and only
+calls these hooks, so adding a new FedDG method requires exactly one class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.loader import Batcher
+from repro.data.synthetic import LabeledDataset
+from repro.fl.client import Client
+from repro.nn import SGD, CrossEntropyLoss
+from repro.nn.models import FeatureClassifierModel
+from repro.nn.serialize import StateDict, average_states
+
+__all__ = ["LocalTrainingConfig", "Strategy", "run_ce_epochs"]
+
+
+@dataclass(frozen=True)
+class LocalTrainingConfig:
+    """Hyperparameters of a client's local optimization.
+
+    Shared across all strategies so overhead and accuracy comparisons are
+    apples-to-apples, as in the paper's experimental setup (§IV-A: batch
+    size 32, one local epoch, SGD).
+    """
+
+    batch_size: int = 32
+    local_epochs: int = 1
+    learning_rate: float = 0.02
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.local_epochs < 1:
+            raise ValueError(f"local_epochs must be >= 1, got {self.local_epochs}")
+
+    def make_optimizer(self, model: FeatureClassifierModel) -> SGD:
+        return SGD(
+            model.parameters(),
+            lr=self.learning_rate,
+            momentum=self.momentum,
+            weight_decay=self.weight_decay,
+        )
+
+
+def run_ce_epochs(
+    model: FeatureClassifierModel,
+    dataset: LabeledDataset,
+    config: LocalTrainingConfig,
+    rng: np.random.Generator,
+) -> float:
+    """Plain cross-entropy local training; returns the mean batch loss.
+
+    This is FedAvg's whole client step and the base loop several baselines
+    extend.
+    """
+    model.train()
+    optimizer = config.make_optimizer(model)
+    criterion = CrossEntropyLoss()
+    batcher = Batcher(dataset, config.batch_size, rng)
+    losses: list[float] = []
+    for _ in range(config.local_epochs):
+        for images, labels in batcher.epoch():
+            model.zero_grad()
+            logits = model.forward(images)
+            loss = criterion.forward(logits, labels)
+            model.backward(grad_logits=criterion.backward())
+            optimizer.step()
+            losses.append(loss)
+    return float(np.mean(losses)) if losses else 0.0
+
+
+class Strategy:
+    """Base class for federated strategies.  Subclasses override the hooks."""
+
+    name = "strategy"
+
+    def __init__(self, local_config: LocalTrainingConfig | None = None) -> None:
+        self.local_config = local_config or LocalTrainingConfig()
+
+    def prepare(
+        self,
+        clients: list[Client],
+        model: FeatureClassifierModel,
+        rng: np.random.Generator,
+    ) -> None:
+        """One-time setup before the first round.  Default: nothing."""
+
+    def local_update(
+        self,
+        client: Client,
+        model: FeatureClassifierModel,
+        round_index: int,
+        rng: np.random.Generator,
+    ) -> tuple[StateDict, float]:
+        """Train ``model`` (already loaded with the global weights) on the
+        client's data; return ``(new_state, mean_local_loss)``.
+
+        Default implementation is FedAvg's plain cross-entropy step.
+        """
+        loss = run_ce_epochs(model, client.dataset, self.local_config, rng)
+        return model.state_dict(), loss
+
+    def aggregate(
+        self,
+        global_state: StateDict,
+        updates: list[tuple[Client, StateDict]],
+        round_index: int,
+    ) -> StateDict:
+        """Merge client states into the next global state.
+
+        Default: data-size-weighted FedAvg (paper §III-B Aggregation).
+        """
+        if not updates:
+            return global_state
+        states = [state for _, state in updates]
+        weights = [float(client.num_samples) for client, _ in updates]
+        if sum(weights) <= 0:
+            weights = [1.0] * len(states)
+        return average_states(states, weights)

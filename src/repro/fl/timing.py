@@ -1,0 +1,87 @@
+"""Wall-clock instrumentation for the overhead comparison (paper Fig. 4).
+
+The paper breaks computation into (i) local training per client, (ii) server
+aggregation, and (iii) remaining one-time cost (for PARDON: the style
+extraction before round 1).  :class:`PhaseTimer` accumulates exactly those
+three buckets so every strategy is measured identically.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["PhaseTimer", "TimingReport"]
+
+
+@dataclass
+class TimingReport:
+    """Aggregated wall-clock costs of one federated run."""
+
+    one_time_seconds: float
+    local_train_seconds_total: float
+    local_train_invocations: int
+    aggregation_seconds_total: float
+    rounds: int
+
+    @property
+    def local_train_seconds_mean(self) -> float:
+        """Average local-training time per client invocation."""
+        if self.local_train_invocations == 0:
+            return 0.0
+        return self.local_train_seconds_total / self.local_train_invocations
+
+    @property
+    def aggregation_seconds_mean(self) -> float:
+        """Average aggregation time per round."""
+        if self.rounds == 0:
+            return 0.0
+        return self.aggregation_seconds_total / self.rounds
+
+
+class PhaseTimer:
+    """Accumulate durations into the three Fig.-4 buckets."""
+
+    def __init__(self) -> None:
+        self._one_time = 0.0
+        self._local_total = 0.0
+        self._local_count = 0
+        self._aggregate_total = 0.0
+        self._rounds = 0
+
+    @contextmanager
+    def one_time(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._one_time += time.perf_counter() - start
+
+    @contextmanager
+    def local_train(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._local_total += time.perf_counter() - start
+            self._local_count += 1
+
+    @contextmanager
+    def aggregation(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._aggregate_total += time.perf_counter() - start
+            self._rounds += 1
+
+    def report(self) -> TimingReport:
+        return TimingReport(
+            one_time_seconds=self._one_time,
+            local_train_seconds_total=self._local_total,
+            local_train_invocations=self._local_count,
+            aggregation_seconds_total=self._aggregate_total,
+            rounds=self._rounds,
+        )

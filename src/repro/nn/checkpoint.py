@@ -1,0 +1,56 @@
+"""Checkpointing: persist and restore model state dicts as ``.npz`` files.
+
+Long federated sweeps (Table III runs hundreds of client updates) benefit
+from resumable global state; downstream users need to ship trained models.
+``.npz`` keeps the dependency surface at numpy alone.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.serialize import StateDict
+
+__all__ = ["save_state", "load_state", "save_model", "load_model_into"]
+
+_META_KEY = "__repro_checkpoint__"
+
+
+def save_state(state: StateDict, path: str | Path) -> Path:
+    """Write a state dict to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    payload = dict(state)
+    if _META_KEY in payload:
+        raise ValueError(f"state must not contain the reserved key {_META_KEY}")
+    payload[_META_KEY] = np.array([1])  # format version
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **payload)
+    return path
+
+
+def load_state(path: str | Path) -> StateDict:
+    """Read a state dict written by :func:`save_state`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise ValueError(f"{path} is not a repro checkpoint")
+        return {
+            key: archive[key].copy()
+            for key in archive.files
+            if key != _META_KEY
+        }
+
+
+def save_model(model: Module, path: str | Path) -> Path:
+    """Persist a module's current weights and buffers."""
+    return save_state(model.state_dict(), path)
+
+
+def load_model_into(model: Module, path: str | Path) -> None:
+    """Restore weights/buffers from ``path`` into ``model`` (strict keys)."""
+    model.load_state_dict(load_state(path))

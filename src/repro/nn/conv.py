@@ -1,0 +1,255 @@
+"""Convolution and pooling layers.
+
+Conv2d is implemented with im2col: patches are gathered into a matrix so the
+convolution becomes one matmul, which is the only way to get acceptable
+throughput from numpy.  Input layout is NCHW throughout the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+__all__ = ["Conv2d", "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d", "im2col", "col2im"]
+
+
+def _out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output size for input={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> tuple[np.ndarray, tuple[int, int]]:
+    """Rearrange sliding ``kernel x kernel`` patches of NCHW ``x`` into rows.
+
+    Returns ``(cols, (out_h, out_w))`` where ``cols`` has shape
+    ``(batch * out_h * out_w, channels * kernel * kernel)``.
+    """
+    batch, channels, height, width = x.shape
+    out_h = _out_size(height, kernel, stride, padding)
+    out_w = _out_size(width, kernel, stride, padding)
+    if padding:
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+    # Strided view: (batch, channels, out_h, out_w, kernel, kernel)
+    strides = (
+        x.strides[0],
+        x.strides[1],
+        x.strides[2] * stride,
+        x.strides[3] * stride,
+        x.strides[2],
+        x.strides[3],
+    )
+    shape = (batch, channels, out_h, out_w, kernel, kernel)
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    cols = patches.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch * out_h * out_w, channels * kernel * kernel
+    )
+    return np.ascontiguousarray(cols), (out_h, out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Scatter-add column rows back into an NCHW tensor (adjoint of im2col)."""
+    batch, channels, height, width = x_shape
+    out_h = _out_size(height, kernel, stride, padding)
+    out_w = _out_size(width, kernel, stride, padding)
+    padded = np.zeros(
+        (batch, channels, height + 2 * padding, width + 2 * padding), dtype=cols.dtype
+    )
+    patches = cols.reshape(batch, out_h, out_w, channels, kernel, kernel).transpose(
+        0, 3, 1, 2, 4, 5
+    )
+    for ki in range(kernel):
+        for kj in range(kernel):
+            padded[
+                :,
+                :,
+                ki : ki + stride * out_h : stride,
+                kj : kj + stride * out_w : stride,
+            ] += patches[:, :, :, :, ki, kj]
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW input."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            init.he_normal(
+                (out_channels, in_channels, kernel_size, kernel_size),
+                fan_in=fan_in,
+                rng=rng,
+            ),
+            name="weight",
+        )
+        self.bias = (
+            Parameter(init.zeros((out_channels,)), name="bias") if bias else None
+        )
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+        self._out_hw: tuple[int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2d expected (batch, {self.in_channels}, H, W), got {x.shape}"
+            )
+        cols, (out_h, out_w) = im2col(x, self.kernel_size, self.stride, self.padding)
+        self._cols = cols
+        self._x_shape = x.shape
+        self._out_hw = (out_h, out_w)
+        weight_matrix = self.weight.data.reshape(self.out_channels, -1)
+        out = cols @ weight_matrix.T
+        if self.bias is not None:
+            out = out + self.bias.data
+        batch = x.shape[0]
+        return out.reshape(batch, out_h, out_w, self.out_channels).transpose(
+            0, 3, 1, 2
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None or self._out_hw is None:
+            raise RuntimeError("backward called before forward")
+        batch = self._x_shape[0]
+        out_h, out_w = self._out_hw
+        grad_rows = grad_output.transpose(0, 2, 3, 1).reshape(
+            batch * out_h * out_w, self.out_channels
+        )
+        weight_matrix = self.weight.data.reshape(self.out_channels, -1)
+        self.weight.grad += (grad_rows.T @ self._cols).reshape(self.weight.data.shape)
+        if self.bias is not None:
+            self.bias.grad += grad_rows.sum(axis=0)
+        grad_cols = grad_rows @ weight_matrix
+        return col2im(
+            grad_cols, self._x_shape, self.kernel_size, self.stride, self.padding
+        )
+
+
+class MaxPool2d(Module):
+    """Max pooling with square window; stride defaults to the window size."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._argmax: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+        self._out_hw: tuple[int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = x.shape
+        reshaped = x.reshape(batch * channels, 1, height, width)
+        cols, (out_h, out_w) = im2col(reshaped, self.kernel_size, self.stride, 0)
+        self._argmax = np.argmax(cols, axis=1)
+        self._x_shape = x.shape
+        self._out_hw = (out_h, out_w)
+        out = cols[np.arange(cols.shape[0]), self._argmax]
+        return out.reshape(batch, channels, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._argmax is None or self._x_shape is None or self._out_hw is None:
+            raise RuntimeError("backward called before forward")
+        batch, channels, height, width = self._x_shape
+        out_h, out_w = self._out_hw
+        grad_cols = np.zeros(
+            (batch * channels * out_h * out_w, self.kernel_size * self.kernel_size),
+            dtype=np.float64,
+        )
+        grad_cols[np.arange(grad_cols.shape[0]), self._argmax] = grad_output.reshape(-1)
+        grad = col2im(
+            grad_cols,
+            (batch * channels, 1, height, width),
+            self.kernel_size,
+            self.stride,
+            0,
+        )
+        return grad.reshape(batch, channels, height, width)
+
+
+class AvgPool2d(Module):
+    """Average pooling with square window; stride defaults to the window."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = x.shape
+        reshaped = x.reshape(batch * channels, 1, height, width)
+        cols, (out_h, out_w) = im2col(reshaped, self.kernel_size, self.stride, 0)
+        self._x_shape = x.shape
+        self._out_hw = (out_h, out_w)
+        return cols.mean(axis=1).reshape(batch, channels, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        batch, channels, height, width = self._x_shape
+        window = self.kernel_size * self.kernel_size
+        grad_cols = np.repeat(
+            grad_output.reshape(-1, 1) / window, window, axis=1
+        )
+        grad = col2im(
+            grad_cols,
+            (batch * channels, 1, height, width),
+            self.kernel_size,
+            self.stride,
+            0,
+        )
+        return grad.reshape(batch, channels, height, width)
+
+
+class GlobalAvgPool2d(Module):
+    """Average each channel over its full spatial extent → (batch, channels)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        batch, channels, height, width = self._x_shape
+        spread = grad_output[:, :, None, None] / (height * width)
+        return np.broadcast_to(spread, self._x_shape).copy()

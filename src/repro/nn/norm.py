@@ -1,0 +1,169 @@
+"""Normalization layers.
+
+BatchNorm keeps running statistics in ``_buffers`` so they travel with
+``state_dict`` during federated aggregation, matching how FedAvg on PyTorch
+models averages BN statistics along with weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+__all__ = ["BatchNorm2d", "InstanceNorm2d", "LayerNorm"]
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over NCHW input (per-channel)."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features), name="gamma")
+        self.beta = Parameter(np.zeros(num_features), name="beta")
+        self._buffers = {
+            "running_mean": np.zeros(num_features),
+            "running_var": np.ones(num_features),
+        }
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm2d expected (batch, {self.num_features}, H, W), got {x.shape}"
+            )
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self._buffers["running_mean"] = (
+                (1 - self.momentum) * self._buffers["running_mean"]
+                + self.momentum * mean
+            )
+            self._buffers["running_var"] = (
+                (1 - self.momentum) * self._buffers["running_var"]
+                + self.momentum * var
+            )
+        else:
+            mean = self._buffers["running_mean"]
+            var = self._buffers["running_var"]
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        normalized = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        self._cache = (normalized, inv_std, x.shape)
+        return (
+            self.gamma.data[None, :, None, None] * normalized
+            + self.beta.data[None, :, None, None]
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        normalized, inv_std, shape = self._cache
+        batch, _, height, width = shape
+        count = batch * height * width
+        self.gamma.grad += (grad_output * normalized).sum(axis=(0, 2, 3))
+        self.beta.grad += grad_output.sum(axis=(0, 2, 3))
+        grad_norm = grad_output * self.gamma.data[None, :, None, None]
+        if not self.training:
+            return grad_norm * inv_std[None, :, None, None]
+        # Training-mode backward must account for the dependence of the batch
+        # statistics on every element.
+        sum_grad = grad_norm.sum(axis=(0, 2, 3), keepdims=True)
+        sum_grad_norm = (grad_norm * normalized).sum(axis=(0, 2, 3), keepdims=True)
+        return (
+            inv_std[None, :, None, None]
+            / count
+            * (count * grad_norm - sum_grad - normalized * sum_grad_norm)
+        )
+
+
+class InstanceNorm2d(Module):
+    """Instance normalization: per-sample, per-channel spatial whitening.
+
+    Exposed because it is the mechanism AdaIN builds on — AdaIN is instance
+    normalization followed by an affine re-style — and because it is a useful
+    ablation (an instance-normalized backbone removes much of the style shift
+    our synthetic domains introduce).
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, affine: bool = True) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.affine = affine
+        if affine:
+            self.gamma = Parameter(np.ones(num_features), name="gamma")
+            self.beta = Parameter(np.zeros(num_features), name="beta")
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"InstanceNorm2d expected (batch, {self.num_features}, H, W), "
+                f"got {x.shape}"
+            )
+        mean = x.mean(axis=(2, 3), keepdims=True)
+        var = x.var(axis=(2, 3), keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        normalized = (x - mean) * inv_std
+        self._cache = (normalized, inv_std, x.shape)
+        if not self.affine:
+            return normalized
+        return (
+            self.gamma.data[None, :, None, None] * normalized
+            + self.beta.data[None, :, None, None]
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        normalized, inv_std, shape = self._cache
+        _, _, height, width = shape
+        count = height * width
+        if self.affine:
+            self.gamma.grad += (grad_output * normalized).sum(axis=(0, 2, 3))
+            self.beta.grad += grad_output.sum(axis=(0, 2, 3))
+            grad_norm = grad_output * self.gamma.data[None, :, None, None]
+        else:
+            grad_norm = grad_output
+        sum_grad = grad_norm.sum(axis=(2, 3), keepdims=True)
+        sum_grad_norm = (grad_norm * normalized).sum(axis=(2, 3), keepdims=True)
+        return inv_std / count * (count * grad_norm - sum_grad - normalized * sum_grad_norm)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis of 2-D input."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features), name="gamma")
+        self.beta = Parameter(np.zeros(num_features), name="beta")
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"LayerNorm expected (batch, {self.num_features}), got {x.shape}"
+            )
+        mean = x.mean(axis=1, keepdims=True)
+        var = x.var(axis=1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        normalized = (x - mean) * inv_std
+        self._cache = (normalized, inv_std)
+        return self.gamma.data * normalized + self.beta.data
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        normalized, inv_std = self._cache
+        count = self.num_features
+        self.gamma.grad += (grad_output * normalized).sum(axis=0)
+        self.beta.grad += grad_output.sum(axis=0)
+        grad_norm = grad_output * self.gamma.data
+        sum_grad = grad_norm.sum(axis=1, keepdims=True)
+        sum_grad_norm = (grad_norm * normalized).sum(axis=1, keepdims=True)
+        return inv_std / count * (count * grad_norm - sum_grad - normalized * sum_grad_norm)

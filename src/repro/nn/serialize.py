@@ -1,0 +1,113 @@
+"""State-dict arithmetic: the wire format of federated learning.
+
+Clients exchange ``dict[str, np.ndarray]`` state dicts.  Aggregation rules
+(FedAvg, gradient-masked averaging, generalization adjustment) are all linear
+operations over these dicts, collected here so every strategy reuses the same
+verified primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "StateDict",
+    "average_states",
+    "state_add",
+    "state_sub",
+    "state_scale",
+    "zeros_like_state",
+    "flatten_state",
+    "unflatten_state",
+    "state_allclose",
+]
+
+StateDict = dict[str, np.ndarray]
+
+
+def _check_same_keys(states: Sequence[StateDict]) -> list[str]:
+    if not states:
+        raise ValueError("need at least one state dict")
+    keys = sorted(states[0])
+    for index, state in enumerate(states[1:], start=1):
+        if sorted(state) != keys:
+            raise KeyError(f"state dict {index} has different keys")
+    return keys
+
+
+def average_states(
+    states: Sequence[StateDict], weights: Sequence[float] | None = None
+) -> StateDict:
+    """Weighted average of state dicts (FedAvg, paper §III-B Aggregation).
+
+    ``weights`` default to uniform; they are normalized so callers can pass
+    raw client dataset sizes ``n_i`` directly.
+    """
+    keys = _check_same_keys(states)
+    if weights is None:
+        weights = [1.0] * len(states)
+    if len(weights) != len(states):
+        raise ValueError("one weight per state dict required")
+    weights = np.asarray(weights, dtype=np.float64)
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("weights must not sum to zero")
+    weights = weights / total
+    return {
+        key: sum(w * state[key] for w, state in zip(weights, states))
+        for key in keys
+    }
+
+
+def state_add(a: StateDict, b: StateDict) -> StateDict:
+    """Elementwise ``a + b``."""
+    _check_same_keys([a, b])
+    return {key: a[key] + b[key] for key in a}
+
+
+def state_sub(a: StateDict, b: StateDict) -> StateDict:
+    """Elementwise ``a - b`` (e.g. a client's update delta)."""
+    _check_same_keys([a, b])
+    return {key: a[key] - b[key] for key in a}
+
+
+def state_scale(state: StateDict, factor: float) -> StateDict:
+    """Elementwise ``factor * state``."""
+    return {key: factor * value for key, value in state.items()}
+
+
+def zeros_like_state(state: StateDict) -> StateDict:
+    """A state dict of zeros with the same structure."""
+    return {key: np.zeros_like(value) for key, value in state.items()}
+
+
+def flatten_state(state: StateDict) -> np.ndarray:
+    """Concatenate all tensors (sorted by key) into one flat vector."""
+    return np.concatenate([np.ravel(state[key]) for key in sorted(state)])
+
+
+def unflatten_state(vector: np.ndarray, reference: StateDict) -> StateDict:
+    """Inverse of :func:`flatten_state`, using ``reference`` for shapes."""
+    result: StateDict = {}
+    offset = 0
+    for key in sorted(reference):
+        size = reference[key].size
+        chunk = vector[offset : offset + size]
+        if chunk.size != size:
+            raise ValueError("vector too short for reference state")
+        result[key] = chunk.reshape(reference[key].shape).copy()
+        offset += size
+    if offset != vector.size:
+        raise ValueError("vector too long for reference state")
+    return result
+
+
+def state_allclose(a: StateDict, b: StateDict, atol: float = 1e-10) -> bool:
+    """True when both states have identical keys and close values."""
+    if sorted(a) != sorted(b):
+        return False
+    return all(np.allclose(a[key], b[key], atol=atol) for key in a)

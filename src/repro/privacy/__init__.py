@@ -1,0 +1,44 @@
+"""``repro.privacy`` — reconstruction attacks and privacy metrics.
+
+Implements the paper's security analysis: style-inversion generators (the
+GAN substitute), the third-party and inter-client attacks, and the
+FID / inception-score / PSNR metrics of Table IV.
+"""
+
+from repro.privacy.attacks import (
+    ReconstructionReport,
+    client_style_vectors,
+    run_reconstruction_attack,
+)
+from repro.privacy.inversion import (
+    StyleInversionGenerator,
+    sample_style_vectors,
+    train_inverter,
+)
+from repro.privacy.metrics import (
+    fid_score,
+    frechet_distance,
+    inception_score_like,
+    psnr,
+)
+from repro.privacy.dp import (
+    DPStyleStrategy,
+    GaussianMechanism,
+    gaussian_sigma,
+)
+
+__all__ = [
+    "DPStyleStrategy",
+    "GaussianMechanism",
+    "gaussian_sigma",
+    "ReconstructionReport",
+    "run_reconstruction_attack",
+    "client_style_vectors",
+    "StyleInversionGenerator",
+    "sample_style_vectors",
+    "train_inverter",
+    "fid_score",
+    "frechet_distance",
+    "inception_score_like",
+    "psnr",
+]

@@ -1,0 +1,132 @@
+"""Adaptive Instance Normalization and style statistics (paper Eq. 2 and 6).
+
+A *style* here is the pair of pixel-level channel-wise statistics
+``(mu, sigma)`` of feature maps — paper Eq. 2.  AdaIN re-styles features by
+whitening each sample's channels with its own statistics and re-colouring
+with the target style's (Eq. 6):
+
+``AdaIN(F, S) = sigma(S) * (F - mu(F)) / sigma(F) + mu(S)``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.style.encoder import InvertibleEncoder
+
+__all__ = [
+    "StyleVector",
+    "per_sample_style_stats",
+    "pooled_style",
+    "adain",
+    "apply_style_to_images",
+]
+
+_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class StyleVector:
+    """Channel-wise style statistics ``(mu, sigma) in R^{2d}`` (paper §III-B).
+
+    This is the *only* artifact a PARDON client ever uploads; the privacy
+    experiments quantify how little of the client's data it reveals.
+    """
+
+    mu: np.ndarray
+    sigma: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mu", np.asarray(self.mu, dtype=np.float64))
+        object.__setattr__(self, "sigma", np.asarray(self.sigma, dtype=np.float64))
+        if self.mu.shape != self.sigma.shape or self.mu.ndim != 1:
+            raise ValueError(
+                f"mu and sigma must be equal-length 1-D arrays, got "
+                f"{self.mu.shape} and {self.sigma.shape}"
+            )
+        if np.any(self.sigma < 0):
+            raise ValueError("sigma entries must be non-negative")
+
+    @property
+    def dim(self) -> int:
+        """The channel count ``d``; the vector itself lives in ``R^{2d}``."""
+        return int(self.mu.shape[0])
+
+    def to_array(self) -> np.ndarray:
+        """Concatenate into the flat ``R^{2d}`` wire format."""
+        return np.concatenate([self.mu, self.sigma])
+
+    @staticmethod
+    def from_array(array: np.ndarray) -> "StyleVector":
+        """Inverse of :meth:`to_array`."""
+        array = np.asarray(array, dtype=np.float64)
+        if array.ndim != 1 or array.shape[0] % 2:
+            raise ValueError(f"expected flat even-length array, got {array.shape}")
+        half = array.shape[0] // 2
+        return StyleVector(mu=array[:half], sigma=array[half:])
+
+
+def per_sample_style_stats(features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-sample channel statistics of ``(N, C, H, W)`` features.
+
+    Returns ``(mu, sigma)`` each of shape ``(N, C)`` — the sample-level style
+    vectors that privacy-risky methods (CCST sample mode) share directly.
+    """
+    if features.ndim != 4:
+        raise ValueError(f"features must be (N, C, H, W), got {features.shape}")
+    mu = features.mean(axis=(2, 3))
+    sigma = features.std(axis=(2, 3))
+    return mu, sigma
+
+
+def pooled_style(features: np.ndarray) -> StyleVector:
+    """Pixel-level channel-wise statistics pooled over a *set* of samples.
+
+    This is paper Eq. 2: the style of a cluster is computed from the
+    concatenation of all its members' feature maps, i.e. mean/std taken over
+    samples *and* spatial positions jointly for each channel.
+    """
+    if features.ndim != 4:
+        raise ValueError(f"features must be (N, C, H, W), got {features.shape}")
+    if features.shape[0] == 0:
+        raise ValueError("cannot pool style over an empty set")
+    mu = features.mean(axis=(0, 2, 3))
+    sigma = features.std(axis=(0, 2, 3))
+    return StyleVector(mu=mu, sigma=sigma)
+
+
+def adain(features: np.ndarray, style: StyleVector) -> np.ndarray:
+    """Re-style features to the target ``style`` (paper Eq. 6).
+
+    Each sample is whitened with its own per-channel statistics, then scaled
+    and shifted to the target statistics.  Degenerate (zero-variance)
+    channels are guarded with an epsilon rather than dropped, so constant
+    channels transfer their mean correctly.
+    """
+    if features.ndim != 4:
+        raise ValueError(f"features must be (N, C, H, W), got {features.shape}")
+    if features.shape[1] != style.dim:
+        raise ValueError(
+            f"style has {style.dim} channels, features have {features.shape[1]}"
+        )
+    mu_f = features.mean(axis=(2, 3), keepdims=True)
+    sigma_f = features.std(axis=(2, 3), keepdims=True)
+    normalized = (features - mu_f) / (sigma_f + _EPS)
+    target_sigma = style.sigma[None, :, None, None]
+    target_mu = style.mu[None, :, None, None]
+    return normalized * target_sigma + target_mu
+
+
+def apply_style_to_images(
+    images: np.ndarray, style: StyleVector, encoder: InvertibleEncoder
+) -> np.ndarray:
+    """Image-space style transfer: encode, AdaIN, decode.
+
+    The invertible encoder replaces the AdaIN paper's trained decoder, so
+    this is exact round-trip up to the AdaIN re-styling itself.
+    """
+    features = encoder.encode(images)
+    restyled = adain(features, style)
+    return encoder.decode(restyled)

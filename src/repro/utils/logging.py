@@ -1,0 +1,49 @@
+"""Lightweight structured logging for experiments.
+
+The stdlib ``logging`` module is used underneath; this wrapper only installs a
+consistent format once and offers a ``key=value`` helper so round-by-round
+federated logs stay grep-able.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Mapping
+
+__all__ = ["get_logger", "kv"]
+
+_FORMAT = "%(asctime)s %(levelname).1s %(name)s: %(message)s"
+_configured = False
+
+
+def _configure_root() -> None:
+    global _configured
+    if _configured:
+        return
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
+    root = logging.getLogger("repro")
+    root.addHandler(handler)
+    root.setLevel(logging.INFO)
+    root.propagate = False
+    _configured = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace."""
+    _configure_root()
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def kv(fields: Mapping[str, object]) -> str:
+    """Render a mapping as a stable ``key=value`` string for log lines."""
+    return " ".join(f"{key}={_fmt(value)}" for key, value in fields.items())
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,47 @@
+"""ASCII table rendering used by the benchmark harness.
+
+Benchmarks print rows shaped like the paper's tables; this module keeps the
+formatting in one place so every bench emits consistent, diff-able output.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_percent"]
+
+
+def format_percent(value: float, decimals: int = 2) -> str:
+    """Format a [0, 1] fraction as the paper prints it, e.g. ``73.63%``."""
+    return f"{100.0 * value:.{decimals}f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [[_cell(v) for v in row] for row in rows]
+    n_cols = max(len(row) for row in cells)
+    for row in cells:
+        row.extend([""] * (n_cols - len(row)))
+    widths = [max(len(row[col]) for row in cells) for col in range(n_cols)]
+
+    def render_row(row: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(cells[0]))
+    lines.append(separator)
+    lines.extend(render_row(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,171 @@
+"""Tests for FINCH clustering, including partition-validity properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import (
+    cosine_similarity_matrix,
+    finch,
+    first_neighbours,
+)
+
+
+def gaussian_blobs(rng, centers, per_blob=10, scale=0.05):
+    """Well-separated blobs: the canonical easy clustering case."""
+    points, truth = [], []
+    for index, center in enumerate(centers):
+        points.append(center + scale * rng.normal(size=(per_blob, len(center))))
+        truth.extend([index] * per_blob)
+    return np.concatenate(points), np.array(truth)
+
+
+class TestCosineSimilarity:
+    def test_self_similarity_is_one(self, rng):
+        x = rng.normal(size=(5, 3))
+        sim = cosine_similarity_matrix(x)
+        np.testing.assert_allclose(np.diag(sim), 1.0)
+
+    def test_zero_vectors_orthogonal_to_all(self, rng):
+        x = rng.normal(size=(4, 3))
+        x[1] = 0.0
+        sim = cosine_similarity_matrix(x)
+        assert np.all(sim[1] == 0) and np.all(sim[:, 1] == 0)
+
+    def test_opposite_vectors(self):
+        x = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        sim = cosine_similarity_matrix(x)
+        np.testing.assert_allclose(sim[0, 1], -1.0)
+
+
+class TestFirstNeighbours:
+    def test_finds_nearest(self):
+        x = np.array([[1.0, 0.0], [0.9, 0.1], [-1.0, 0.0], [-0.9, -0.1]])
+        nn = first_neighbours(x, metric="cosine")
+        assert nn[0] == 1 and nn[1] == 0
+        assert nn[2] == 3 and nn[3] == 2
+
+    def test_euclidean_metric(self):
+        x = np.array([[0.0], [1.0], [10.0]])
+        nn = first_neighbours(x, metric="euclidean")
+        assert nn[0] == 1 and nn[1] == 0 and nn[2] == 1
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            first_neighbours(np.zeros((1, 3)))
+
+    def test_rejects_unknown_metric(self, rng):
+        with pytest.raises(ValueError):
+            first_neighbours(rng.normal(size=(3, 2)), metric="manhattan")
+
+
+class TestFinch:
+    def test_recovers_separated_blobs(self, rng):
+        centers = [np.array([10.0, 0.0]), np.array([0.0, 10.0]),
+                   np.array([-10.0, -10.0])]
+        points, truth = gaussian_blobs(rng, centers)
+        result = finch(points, metric="euclidean")
+        labels = result.last
+        # Every true blob maps to exactly one predicted cluster.
+        for blob in range(3):
+            blob_labels = labels[truth == blob]
+            assert len(np.unique(blob_labels)) == 1
+        assert result.num_clusters[-1] == 3
+
+    def test_hierarchy_strictly_coarsens(self, rng):
+        points = rng.normal(size=(40, 6))
+        result = finch(points)
+        for a, b in zip(result.num_clusters, result.num_clusters[1:]):
+            assert b < a
+
+    def test_partition_valid_cover(self, rng):
+        points = rng.normal(size=(25, 4))
+        result = finch(points)
+        for labels, count in zip(result.partitions, result.num_clusters):
+            assert labels.shape == (25,)
+            assert set(np.unique(labels)) == set(range(count))
+
+    def test_coarser_levels_nest(self, rng):
+        """If two points share a cluster at level k they share one at k+1."""
+        points = rng.normal(size=(30, 5))
+        result = finch(points)
+        for fine, coarse in zip(result.partitions, result.partitions[1:]):
+            for cluster in np.unique(fine):
+                members = coarse[fine == cluster]
+                assert len(np.unique(members)) == 1
+
+    def test_single_point(self):
+        result = finch(np.zeros((1, 4)))
+        assert result.num_clusters == [1]
+        np.testing.assert_array_equal(result.last, [0])
+
+    def test_two_points(self, rng):
+        result = finch(rng.normal(size=(2, 3)))
+        assert result.num_clusters[-1] == 1
+        assert result.levels == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            finch(np.zeros((0, 3)))
+
+    def test_never_returns_trivial_partition_after_level_one(self, rng):
+        """Beyond the first level the all-in-one partition is never kept."""
+        points = rng.normal(size=(50, 3))
+        result = finch(points)
+        for count in result.num_clusters[1:]:
+            assert count >= 2
+
+    def test_clusters_at(self, rng):
+        points = rng.normal(size=(12, 3))
+        result = finch(points)
+        clusters = result.clusters_at(0)
+        recovered = np.concatenate(clusters)
+        assert sorted(recovered) == list(range(12))
+
+    def test_min_clusters_stops_early(self, rng):
+        centers = [np.array([float(i * 5), 0.0]) for i in range(8)]
+        points, _ = gaussian_blobs(rng, centers, per_blob=5)
+        full = finch(points, metric="euclidean", min_clusters=1)
+        limited = finch(points, metric="euclidean", min_clusters=full.num_clusters[0])
+        assert limited.levels == 1
+
+    @given(seed=st.integers(min_value=0, max_value=500),
+           n=st.integers(min_value=2, max_value=40))
+    @settings(max_examples=25, deadline=None)
+    def test_property_partitions_always_valid(self, seed, n):
+        """Arbitrary data: labels always form a valid, coarsening partition."""
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(n, 4))
+        result = finch(points)
+        assert result.levels >= 1
+        for labels, count in zip(result.partitions, result.num_clusters):
+            assert labels.min() == 0 and labels.max() == count - 1
+        for fine, coarse in zip(result.partitions, result.partitions[1:]):
+            for cluster in np.unique(fine):
+                assert len(np.unique(coarse[fine == cluster])) == 1
+
+    def test_style_clusters_group_same_domain(self, rng):
+        """End-to-end with the style stack: per-sample style vectors from two
+        very different domains cluster by domain."""
+        from repro.data import DomainStyle, render_images
+        from repro.style import InvertibleEncoder, per_sample_style_stats
+
+        content = rng.normal(size=(20, 8, 8))
+        style_a = DomainStyle("a", (1.0,) * 3, (2.0, 0.5, 1.0), (0.5, -0.5, 0.0),
+                              noise_std=0.01)
+        style_b = DomainStyle("b", (1.0,) * 3, (0.4, 1.8, 0.9), (-0.6, 0.6, 0.3),
+                              noise_std=0.01)
+        imgs_a = render_images(content[:10], style_a, rng)
+        imgs_b = render_images(content[10:], style_b, rng)
+        encoder = InvertibleEncoder(levels=1, seed=7)
+        mu, sigma = per_sample_style_stats(
+            encoder.encode(np.concatenate([imgs_a, imgs_b]))
+        )
+        vectors = np.concatenate([mu, sigma], axis=1)
+        result = finch(vectors)
+        labels = result.last
+        # Majority label purity within each domain.
+        purity_a = np.mean(labels[:10] == np.bincount(labels[:10]).argmax())
+        purity_b = np.mean(labels[10:] == np.bincount(labels[10:]).argmax())
+        assert purity_a > 0.8 and purity_b > 0.8

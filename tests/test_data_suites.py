@@ -1,0 +1,158 @@
+"""Tests for dataset containers and the three benchmark suite builders."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    LabeledDataset,
+    synthetic_iwildcam,
+    synthetic_office_home,
+    synthetic_pacs,
+)
+
+
+def tiny_dataset(rng, n=10, domain=0):
+    return LabeledDataset(
+        images=rng.normal(size=(n, 3, 8, 8)),
+        labels=rng.integers(0, 3, size=n),
+        domain_ids=np.full(n, domain),
+    )
+
+
+class TestLabeledDataset:
+    def test_len_and_shape(self, rng):
+        ds = tiny_dataset(rng, n=7)
+        assert len(ds) == 7
+        assert ds.image_shape == (3, 8, 8)
+
+    def test_subset_copies(self, rng):
+        ds = tiny_dataset(rng)
+        sub = ds.subset(np.array([0, 2]))
+        sub.images[0] = 999.0
+        assert ds.images[0, 0, 0, 0] != 999.0
+
+    def test_concatenate(self, rng):
+        a, b = tiny_dataset(rng, n=4, domain=0), tiny_dataset(rng, n=6, domain=1)
+        merged = LabeledDataset.concatenate([a, b])
+        assert len(merged) == 10
+        assert set(np.unique(merged.domain_ids)) == {0, 1}
+
+    def test_concatenate_rejects_empty_list(self):
+        with pytest.raises(ValueError):
+            LabeledDataset.concatenate([])
+
+    def test_class_counts(self, rng):
+        ds = LabeledDataset(
+            images=np.zeros((4, 3, 8, 8)),
+            labels=np.array([0, 0, 2, 1]),
+            domain_ids=np.zeros(4),
+        )
+        np.testing.assert_array_equal(ds.class_counts(4), [2, 1, 1, 0])
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            LabeledDataset(
+                images=np.zeros((4, 3, 8)),
+                labels=np.zeros(4),
+                domain_ids=np.zeros(4),
+            )
+        with pytest.raises(ValueError):
+            LabeledDataset(
+                images=np.zeros((4, 3, 8, 8)),
+                labels=np.zeros(3),
+                domain_ids=np.zeros(4),
+            )
+
+
+class TestPacsSuite:
+    def test_structure(self):
+        suite = synthetic_pacs(seed=0, samples_per_class=5, image_size=8)
+        assert suite.num_domains == 4
+        assert suite.num_classes == 7
+        assert suite.domain_names == ["photo", "art_painting", "cartoon", "sketch"]
+        for dataset in suite.datasets:
+            assert len(dataset) == 5 * 7
+
+    def test_domains_have_distinct_statistics(self):
+        suite = synthetic_pacs(seed=0, samples_per_class=10, image_size=8)
+        means = [d.images.mean(axis=(0, 2, 3)) for d in suite.datasets]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert np.linalg.norm(means[i] - means[j]) > 0.05
+
+    def test_reproducible(self):
+        a = synthetic_pacs(seed=3, samples_per_class=4, image_size=8)
+        b = synthetic_pacs(seed=3, samples_per_class=4, image_size=8)
+        np.testing.assert_array_equal(a.datasets[0].images, b.datasets[0].images)
+
+    def test_different_seeds_differ(self):
+        a = synthetic_pacs(seed=1, samples_per_class=4, image_size=8)
+        b = synthetic_pacs(seed=2, samples_per_class=4, image_size=8)
+        assert not np.allclose(a.datasets[0].images, b.datasets[0].images)
+
+    def test_domain_lookup(self):
+        suite = synthetic_pacs(seed=0, samples_per_class=2, image_size=8)
+        assert suite.domain_index("sketch") == 3
+        with pytest.raises(KeyError):
+            suite.domain_index("nonexistent")
+        by_name = suite.dataset_for("cartoon")
+        by_index = suite.dataset_for(2)
+        np.testing.assert_array_equal(by_name.images, by_index.images)
+
+    def test_merged_pool(self):
+        suite = synthetic_pacs(seed=0, samples_per_class=3, image_size=8)
+        pool = suite.merged([0, 1])
+        assert len(pool) == 2 * 3 * 7
+        with pytest.raises(ValueError):
+            suite.merged([])
+
+
+class TestOfficeHomeSuite:
+    def test_structure(self):
+        suite = synthetic_office_home(seed=0, samples_per_class=2, image_size=8)
+        assert suite.num_domains == 4
+        assert suite.num_classes == 65
+        assert len(suite.datasets[0]) == 2 * 65
+
+
+class TestIWildCamSuite:
+    def test_domain_split_structure(self):
+        suite = synthetic_iwildcam(
+            seed=0, num_train_domains=6, num_val_domains=2,
+            num_test_domains=3, num_classes=10, mean_samples_per_domain=30,
+            image_size=8,
+        )
+        assert suite.num_domains == 11
+        assert len(suite.train_domains) == 6
+        assert len(suite.val_domains) == 2
+        assert len(suite.test_domains) == 3
+        all_roles = suite.train_domains + suite.val_domains + suite.test_domains
+        assert sorted(all_roles) == list(range(11))
+
+    def test_long_tail_and_absent_classes(self):
+        suite = synthetic_iwildcam(
+            seed=0, num_train_domains=8, num_val_domains=2, num_test_domains=2,
+            num_classes=12, mean_samples_per_domain=40, image_size=8,
+        )
+        # Global counts long-tailed: head class much bigger than tail class.
+        total = sum(
+            (d.class_counts(12) for d in suite.datasets),
+            start=np.zeros(12, dtype=np.int64),
+        )
+        assert total[0] > 3 * max(total[-1], 1)
+        # At least one camera misses at least one species.
+        assert any(
+            np.any(d.class_counts(12) == 0) for d in suite.datasets
+        )
+
+    def test_camera_styles_differ(self):
+        suite = synthetic_iwildcam(
+            seed=0, num_train_domains=4, num_val_domains=1, num_test_domains=1,
+            num_classes=8, mean_samples_per_domain=40, image_size=8,
+        )
+        means = [d.images.mean() for d in suite.datasets if len(d)]
+        assert np.std(means) > 0.01
+
+    def test_rejects_empty_split(self):
+        with pytest.raises(ValueError):
+            synthetic_iwildcam(num_val_domains=0)

@@ -1,0 +1,229 @@
+"""Tests for the federated substrate: clients, sampling, timing, history,
+and the simulation loop itself."""
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic_pacs, partition_clients
+from repro.fl import (
+    Client,
+    FederatedConfig,
+    FederatedServer,
+    LocalTrainingConfig,
+    RoundRecord,
+    RunHistory,
+    Strategy,
+    UniformClientSampler,
+)
+from repro.fl.timing import PhaseTimer
+from repro.nn import build_mlp_model
+
+SUITE = synthetic_pacs(seed=0, samples_per_class=8, image_size=8)
+
+
+def make_clients(n_clients=6, heterogeneity=0.2, seed=0):
+    partition = partition_clients(
+        SUITE, [0, 1], n_clients, heterogeneity, np.random.default_rng(seed)
+    )
+    return [Client(i, d) for i, d in enumerate(partition.client_datasets)]
+
+
+def make_model(seed=0):
+    return build_mlp_model(
+        SUITE.image_shape, SUITE.num_classes, rng=np.random.default_rng(seed)
+    )
+
+
+class TestClient:
+    def test_basic_properties(self):
+        clients = make_clients()
+        assert all(c.num_samples == len(c.dataset) for c in clients)
+        domains = clients[0].domains_present()
+        assert set(domains).issubset({0, 1})
+
+    def test_scratch_is_per_client(self):
+        clients = make_clients()
+        clients[0].scratch["x"] = 1
+        assert "x" not in clients[1].scratch
+
+
+class TestSampler:
+    def test_integer_count(self, rng):
+        sampler = UniformClientSampler(3)
+        chosen = sampler.sample(make_clients(8), rng)
+        assert len(chosen) == 3
+        assert len({c.client_id for c in chosen}) == 3
+
+    def test_fractional_participation(self, rng):
+        sampler = UniformClientSampler(0.5)
+        chosen = sampler.sample(make_clients(8), rng)
+        assert len(chosen) == 4
+
+    def test_never_exceeds_population(self, rng):
+        sampler = UniformClientSampler(100)
+        chosen = sampler.sample(make_clients(4), rng)
+        assert len(chosen) == 4
+
+    def test_at_least_one(self, rng):
+        sampler = UniformClientSampler(0.01)
+        chosen = sampler.sample(make_clients(5), rng)
+        assert len(chosen) == 1
+
+    def test_skips_empty_clients(self, rng):
+        clients = make_clients(4)
+        empty = Client(99, clients[0].dataset.subset(np.array([], dtype=int)))
+        sampler = UniformClientSampler(10)
+        chosen = sampler.sample(clients + [empty], rng)
+        assert all(c.client_id != 99 for c in chosen)
+
+    def test_all_empty_raises(self, rng):
+        clients = make_clients(2)
+        empty = [
+            Client(i, clients[0].dataset.subset(np.array([], dtype=int)))
+            for i in range(2)
+        ]
+        with pytest.raises(ValueError):
+            UniformClientSampler(1).sample(empty, rng)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            UniformClientSampler(0)
+        with pytest.raises(ValueError):
+            UniformClientSampler(1.5)
+
+
+class TestTimer:
+    def test_buckets_accumulate(self):
+        timer = PhaseTimer()
+        with timer.one_time():
+            pass
+        for _ in range(3):
+            with timer.local_train():
+                pass
+        with timer.aggregation():
+            pass
+        report = timer.report()
+        assert report.local_train_invocations == 3
+        assert report.rounds == 1
+        assert report.one_time_seconds >= 0.0
+        assert report.local_train_seconds_mean >= 0.0
+
+    def test_empty_report_means(self):
+        report = PhaseTimer().report()
+        assert report.local_train_seconds_mean == 0.0
+        assert report.aggregation_seconds_mean == 0.0
+
+
+class TestHistory:
+    def test_series_and_final(self):
+        history = RunHistory("x")
+        for r in range(3):
+            history.add(
+                RoundRecord(r, 1.0 - 0.1 * r, [0], {"test": 0.5 + 0.1 * r})
+            )
+        series = history.accuracy_series("test")
+        assert series == [(0, 0.5), (1, 0.6), (2, 0.7)]
+        assert history.final_accuracy("test") == 0.7
+        assert history.loss_series()[0] == (0, 1.0)
+
+    def test_missing_eval_raises(self):
+        history = RunHistory("x")
+        history.add(RoundRecord(0, 1.0, [0]))
+        with pytest.raises(KeyError):
+            history.final_accuracy("nope")
+
+
+class TestFederatedServer:
+    def test_runs_and_reports(self):
+        clients = make_clients()
+        server = FederatedServer(
+            strategy=Strategy(LocalTrainingConfig(batch_size=8)),
+            clients=clients,
+            model=make_model(),
+            eval_sets={"test": SUITE.datasets[2]},
+            config=FederatedConfig(num_rounds=3, clients_per_round=2, seed=0),
+        )
+        result = server.run()
+        assert len(result.history.records) == 3
+        assert "test" in result.final_accuracy
+        assert result.timing.rounds == 3
+        assert result.timing.local_train_invocations == 6
+
+    def test_deterministic_under_seed(self):
+        def run_once():
+            server = FederatedServer(
+                strategy=Strategy(LocalTrainingConfig(batch_size=8)),
+                clients=make_clients(seed=1),
+                model=make_model(seed=2),
+                eval_sets={"test": SUITE.datasets[2]},
+                config=FederatedConfig(num_rounds=2, clients_per_round=2, seed=5),
+            )
+            return server.run()
+
+        a, b = run_once(), run_once()
+        for key in a.final_state:
+            np.testing.assert_array_equal(a.final_state[key], b.final_state[key])
+        assert a.final_accuracy == b.final_accuracy
+
+    def test_training_improves_over_initialization(self):
+        clients = make_clients(heterogeneity=1.0)
+        model = make_model()
+        from repro.fl.evaluation import evaluate_accuracy
+
+        initial = evaluate_accuracy(model, SUITE.datasets[0])
+        server = FederatedServer(
+            strategy=Strategy(LocalTrainingConfig(batch_size=8, local_epochs=2)),
+            clients=clients,
+            model=model,
+            eval_sets={"train_domain": SUITE.datasets[0]},
+            config=FederatedConfig(num_rounds=8, clients_per_round=4, seed=0),
+        )
+        result = server.run()
+        assert result.final_accuracy["train_domain"] > initial + 0.1
+
+    def test_eval_every_controls_cadence(self):
+        server = FederatedServer(
+            strategy=Strategy(LocalTrainingConfig(batch_size=8)),
+            clients=make_clients(),
+            model=make_model(),
+            eval_sets={"test": SUITE.datasets[2]},
+            config=FederatedConfig(
+                num_rounds=4, clients_per_round=2, eval_every=2, seed=0
+            ),
+        )
+        result = server.run()
+        evaluated = [r.round_index for r in result.history.records if r.eval_accuracy]
+        assert evaluated == [1, 3]
+
+    def test_rejects_empty_client_list(self):
+        with pytest.raises(ValueError):
+            FederatedServer(
+                strategy=Strategy(),
+                clients=[],
+                model=make_model(),
+                eval_sets={},
+                config=FederatedConfig(),
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FederatedConfig(num_rounds=0)
+        with pytest.raises(ValueError):
+            FederatedConfig(eval_every=0)
+
+    def test_client_dropout_mid_training_is_tolerated(self):
+        """A client whose data vanishes between rounds is simply skipped by
+        the sampler (failure injection)."""
+        clients = make_clients(4)
+        server = FederatedServer(
+            strategy=Strategy(LocalTrainingConfig(batch_size=8)),
+            clients=clients,
+            model=make_model(),
+            eval_sets={},
+            config=FederatedConfig(num_rounds=2, clients_per_round=4, seed=0),
+        )
+        # Empty one client's data after construction.
+        clients[0].dataset = clients[0].dataset.subset(np.array([], dtype=int))
+        result = server.run()
+        for record in result.history.records:
+            assert clients[0].client_id not in record.participants

@@ -1,0 +1,230 @@
+"""Tests for secure aggregation, communication accounting, checkpointing,
+MixStyle, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mixstyle import MixStyleStrategy
+from repro.data import synthetic_pacs, partition_clients
+from repro.fl import Client, FederatedConfig, FederatedServer, LocalTrainingConfig
+from repro.fl.communication import method_communication
+from repro.fl.secure import SecureAggregator, masked_upload
+from repro.nn import build_mlp_model
+from repro.nn.checkpoint import load_model_into, load_state, save_model, save_state
+from repro.nn.serialize import state_allclose
+
+SUITE = synthetic_pacs(seed=0, samples_per_class=8, image_size=8)
+
+
+def make_states(rng, n):
+    return [
+        {"w": rng.normal(size=(3, 2)), "b": rng.normal(size=(4,))}
+        for _ in range(n)
+    ]
+
+
+class TestSecureAggregation:
+    def test_masks_cancel_in_sum(self, rng):
+        states = make_states(rng, 4)
+        seeds = [11, 22, 33, 44]
+        agg = SecureAggregator(session=0)
+        uploads = [
+            masked_upload(state, seed, seeds, agg.session)
+            for state, seed in zip(states, seeds)
+        ]
+        total = agg.aggregate(uploads)
+        expected = {
+            key: sum(s[key] for s in states) for key in states[0]
+        }
+        for key in expected:
+            np.testing.assert_allclose(total[key], expected[key], atol=1e-9)
+
+    def test_individual_uploads_are_masked(self, rng):
+        """A single masked upload reveals ~nothing: it differs from the raw
+        state by noise of the mask scale."""
+        states = make_states(rng, 3)
+        seeds = [1, 2, 3]
+        upload = masked_upload(states[0], 1, seeds, session=0, mask_scale=10.0)
+        gap = np.abs(upload["w"] - states[0]["w"]).mean()
+        assert gap > 1.0  # masks dominate the raw values
+
+    def test_sessions_use_different_masks(self, rng):
+        states = make_states(rng, 2)
+        seeds = [1, 2]
+        a = masked_upload(states[0], 1, seeds, session=0)
+        b = masked_upload(states[0], 1, seeds, session=1)
+        assert not np.allclose(a["w"], b["w"])
+
+    def test_average_recovers_mean(self, rng):
+        states = make_states(rng, 3)
+        seeds = [5, 6, 7]
+        agg = SecureAggregator(session=2)
+        uploads = [
+            masked_upload(state, seed, seeds, agg.session)
+            for state, seed in zip(states, seeds)
+        ]
+        mean = agg.average(uploads)
+        for key in states[0]:
+            np.testing.assert_allclose(
+                mean[key],
+                np.mean([s[key] for s in states], axis=0),
+                atol=1e-9,
+            )
+
+    def test_weighted_average_not_supported_directly(self, rng):
+        agg = SecureAggregator(session=0)
+        states = make_states(rng, 2)
+        seeds = [1, 2]
+        uploads = [
+            masked_upload(state, seed, seeds, 0)
+            for state, seed in zip(states, seeds)
+        ]
+        with pytest.raises(NotImplementedError):
+            agg.average(uploads, weights=[1.0, 2.0])
+
+    def test_validation(self, rng):
+        state = make_states(rng, 1)[0]
+        with pytest.raises(ValueError):
+            masked_upload(state, 9, [1, 2], session=0)
+        with pytest.raises(ValueError):
+            masked_upload(state, 1, [1, 1], session=0)
+        with pytest.raises(ValueError):
+            SecureAggregator(0).aggregate([])
+
+
+class TestCommunication:
+    def model(self, rng):
+        return build_mlp_model((3, 8, 8), num_classes=7, rng=rng)
+
+    def test_weight_exchange_dominates_everywhere(self, rng):
+        model = self.model(rng)
+        for method in ("fedavg", "fedsr", "fedgma", "feddg_ga", "ccst", "pardon"):
+            comm = method_communication(method, model)
+            assert comm.per_round_up >= model.num_parameters() * 8
+
+    def test_pardon_one_time_is_one_style_vector(self, rng):
+        comm = method_communication("pardon", self.model(rng), style_dim=24)
+        assert comm.one_time_up == 24 * 8
+        assert comm.one_time_down == 24 * 8
+
+    def test_ccst_download_scales_with_clients(self, rng):
+        model = self.model(rng)
+        small = method_communication("ccst", model, num_clients=10)
+        large = method_communication("ccst", model, num_clients=100)
+        assert large.one_time_down == 10 * small.one_time_down
+
+    def test_fpl_ships_prototypes_every_round(self, rng):
+        model = self.model(rng)
+        fedavg = method_communication("fedavg", model)
+        fpl = method_communication("fpl", model, num_classes=7)
+        assert fpl.per_round_up - fedavg.per_round_up == model.embed_dim * 7 * 8
+
+    def test_total_accounting(self, rng):
+        comm = method_communication("pardon", self.model(rng))
+        total = comm.total(rounds=10, participants_per_round=4, num_clients=20)
+        expected = (comm.per_round_up + comm.per_round_down) * 4 * 10 + (
+            comm.one_time_up + comm.one_time_down
+        ) * 20
+        assert total == expected
+
+    def test_unknown_method(self, rng):
+        with pytest.raises(ValueError):
+            method_communication("nope", self.model(rng))
+
+
+class TestCheckpoint:
+    def test_state_round_trip(self, rng, tmp_path):
+        state = make_states(rng, 1)[0]
+        path = save_state(state, tmp_path / "ckpt")
+        assert path.suffix == ".npz"
+        restored = load_state(path)
+        assert state_allclose(state, restored)
+
+    def test_model_round_trip(self, rng, tmp_path):
+        model = build_mlp_model((3, 8, 8), num_classes=3, rng=rng)
+        path = save_model(model, tmp_path / "model.npz")
+        fresh = build_mlp_model((3, 8, 8), num_classes=3,
+                                rng=np.random.default_rng(99))
+        load_model_into(fresh, path)
+        x = rng.normal(size=(2, 3, 8, 8))
+        np.testing.assert_allclose(model.forward(x), fresh.forward(x))
+
+    def test_rejects_foreign_npz(self, rng, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_state(path)
+
+
+class TestMixStyle:
+    def test_runs_federated(self):
+        partition = partition_clients(
+            SUITE, [0, 1], 4, 0.2, np.random.default_rng(0)
+        )
+        clients = [Client(i, d) for i, d in enumerate(partition.client_datasets)]
+        model = build_mlp_model(SUITE.image_shape, SUITE.num_classes,
+                                rng=np.random.default_rng(0))
+        server = FederatedServer(
+            strategy=MixStyleStrategy(local_config=LocalTrainingConfig(batch_size=8)),
+            clients=clients,
+            model=model,
+            eval_sets={"test": SUITE.datasets[2]},
+            config=FederatedConfig(num_rounds=2, clients_per_round=2, seed=0),
+        )
+        result = server.run()
+        for value in result.final_state.values():
+            assert np.all(np.isfinite(value))
+
+    def test_mixing_preserves_labels_and_shape(self, rng):
+        strategy = MixStyleStrategy(mix_probability=1.0)
+        images = SUITE.datasets[0].images[:8]
+        mixed = strategy._mix_batch(images, rng)
+        assert mixed.shape == images.shape
+        assert not np.allclose(mixed, images)
+
+    def test_single_sample_batch_not_mixed(self, rng):
+        strategy = MixStyleStrategy(mix_probability=1.0)
+        images = SUITE.datasets[0].images[:1]
+        np.testing.assert_array_equal(strategy._mix_batch(images, rng), images)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MixStyleStrategy(alpha=0.0)
+        with pytest.raises(ValueError):
+            MixStyleStrategy(mix_probability=2.0)
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "pardon" in out and "pacs" in out
+
+    def test_run_command_smoke(self, capsys, monkeypatch):
+        from repro import cli
+
+        # Swap in a tiny suite so the CLI test is fast.
+        monkeypatch.setitem(
+            cli.SUITES, "pacs",
+            lambda seed: synthetic_pacs(seed=seed, samples_per_class=4,
+                                        image_size=8),
+        )
+        code = cli.main([
+            "run", "--suite", "pacs", "--method", "fedavg",
+            "--train-domains", "photo", "art_painting",
+            "--val-domain", "cartoon", "--test-domain", "sketch",
+            "--rounds", "2", "--clients", "4", "--participation", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "test acc" in out
+
+    def test_unknown_method_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["run", "--suite", "pacs", "--method", "bogus",
+                  "--train-domains", "photo", "--val-domain", "cartoon",
+                  "--test-domain", "sketch"])

@@ -1,0 +1,98 @@
+"""Tests for convolution and pooling, including an independent naive oracle."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.conv import col2im, im2col
+from tests.gradcheck import check_module_gradients
+
+
+def naive_conv2d(x, weight, bias, stride, padding):
+    """Reference convolution via explicit loops (the oracle)."""
+    batch, _, height, width = x.shape
+    out_channels, _, kernel, _ = weight.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (x.shape[2] - kernel) // stride + 1
+    out_w = (x.shape[3] - kernel) // stride + 1
+    out = np.zeros((batch, out_channels, out_h, out_w))
+    for b in range(batch):
+        for oc in range(out_channels):
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = x[
+                        b, :, i * stride : i * stride + kernel,
+                        j * stride : j * stride + kernel,
+                    ]
+                    out[b, oc, i, j] = np.sum(patch * weight[oc]) + bias[oc]
+    return out
+
+
+class TestIm2col:
+    def test_col2im_is_adjoint_of_im2col(self, rng):
+        """<im2col(x), c> == <x, col2im(c)> — the defining adjoint identity."""
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols, _ = im2col(x, kernel=3, stride=2, padding=1)
+        c = rng.normal(size=cols.shape)
+        lhs = np.sum(cols * c)
+        rhs = np.sum(x * col2im(c, x.shape, kernel=3, stride=2, padding=1))
+        np.testing.assert_allclose(lhs, rhs)
+
+    def test_rejects_too_small_input(self, rng):
+        with pytest.raises(ValueError, match="non-positive"):
+            im2col(rng.normal(size=(1, 1, 2, 2)), kernel=5, stride=1, padding=0)
+
+
+class TestConv2d:
+    @pytest.mark.parametrize(
+        "stride,padding", [(1, 0), (1, 1), (2, 1)], ids=["s1p0", "s1p1", "s2p1"]
+    )
+    def test_matches_naive_oracle(self, stride, padding, rng):
+        layer = nn.Conv2d(3, 4, kernel_size=3, stride=stride, padding=padding, rng=rng)
+        x = rng.normal(size=(2, 3, 8, 8))
+        expected = naive_conv2d(x, layer.weight.data, layer.bias.data, stride, padding)
+        np.testing.assert_allclose(layer.forward(x), expected, rtol=1e-10)
+
+    def test_gradients(self, rng):
+        layer = nn.Conv2d(2, 3, kernel_size=3, stride=2, padding=1, rng=rng)
+        check_module_gradients(layer, rng.normal(size=(2, 2, 6, 6)))
+
+    def test_gradients_no_bias(self, rng):
+        layer = nn.Conv2d(2, 2, kernel_size=2, stride=1, padding=0, rng=rng, bias=False)
+        check_module_gradients(layer, rng.normal(size=(1, 2, 4, 4)))
+
+    def test_rejects_wrong_channels(self, rng):
+        layer = nn.Conv2d(3, 4, kernel_size=3, rng=rng)
+        with pytest.raises(ValueError, match="expected"):
+            layer.forward(rng.normal(size=(1, 2, 8, 8)))
+
+
+class TestPooling:
+    def test_maxpool_selects_max(self):
+        layer = nn.MaxPool2d(2)
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_gradients(self, rng):
+        # Distinct values avoid FD ambiguity at ties.
+        x = rng.permutation(64).astype(np.float64).reshape(1, 4, 4, 4)
+        check_module_gradients(nn.MaxPool2d(2), x)
+
+    def test_avgpool_is_mean(self):
+        layer = nn.AvgPool2d(2)
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avgpool_gradients(self, rng):
+        check_module_gradients(nn.AvgPool2d(2), rng.normal(size=(2, 3, 4, 4)))
+
+    def test_global_avgpool(self, rng):
+        layer = nn.GlobalAvgPool2d()
+        x = rng.normal(size=(2, 3, 5, 5))
+        np.testing.assert_allclose(layer.forward(x), x.mean(axis=(2, 3)))
+
+    def test_global_avgpool_gradients(self, rng):
+        check_module_gradients(nn.GlobalAvgPool2d(), rng.normal(size=(2, 3, 4, 4)))

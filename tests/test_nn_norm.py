@@ -1,0 +1,91 @@
+"""Tests for normalization layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from tests.gradcheck import check_module_gradients
+
+
+class TestBatchNorm2d:
+    def test_normalizes_batch_statistics(self, rng):
+        layer = nn.BatchNorm2d(3)
+        x = rng.normal(loc=5.0, scale=3.0, size=(16, 3, 4, 4))
+        out = layer.forward(x)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_running_stats_update(self, rng):
+        layer = nn.BatchNorm2d(2, momentum=0.5)
+        x = rng.normal(loc=2.0, size=(8, 2, 3, 3))
+        layer.forward(x)
+        expected_mean = 0.5 * x.mean(axis=(0, 2, 3))
+        np.testing.assert_allclose(layer._buffers["running_mean"], expected_mean)
+
+    def test_eval_uses_running_stats(self, rng):
+        layer = nn.BatchNorm2d(2)
+        for _ in range(20):
+            layer.forward(rng.normal(loc=1.0, size=(32, 2, 4, 4)))
+        layer.eval()
+        x = rng.normal(loc=1.0, size=(4, 2, 4, 4))
+        out1 = layer.forward(x)
+        out2 = layer.forward(x)
+        np.testing.assert_array_equal(out1, out2)
+
+    def test_training_gradients(self, rng):
+        layer = nn.BatchNorm2d(2)
+        check_module_gradients(layer, rng.normal(size=(4, 2, 3, 3)), rtol=1e-3)
+
+    def test_buffers_travel_with_state_dict(self, rng):
+        layer = nn.BatchNorm2d(2)
+        layer.forward(rng.normal(size=(8, 2, 3, 3)))
+        state = layer.state_dict()
+        assert "running_mean" in state and "running_var" in state
+        fresh = nn.BatchNorm2d(2)
+        fresh.load_state_dict(state)
+        np.testing.assert_array_equal(
+            fresh._buffers["running_mean"], layer._buffers["running_mean"]
+        )
+
+    def test_rejects_wrong_channels(self, rng):
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(3).forward(rng.normal(size=(2, 4, 3, 3)))
+
+
+class TestInstanceNorm2d:
+    def test_whitens_each_sample_channel(self, rng):
+        layer = nn.InstanceNorm2d(3, affine=False)
+        x = rng.normal(loc=4.0, scale=2.0, size=(5, 3, 6, 6))
+        out = layer.forward(x)
+        np.testing.assert_allclose(out.mean(axis=(2, 3)), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=(2, 3)), 1.0, atol=1e-3)
+
+    def test_gradients_affine(self, rng):
+        layer = nn.InstanceNorm2d(2)
+        check_module_gradients(layer, rng.normal(size=(3, 2, 4, 4)), rtol=1e-3)
+
+    def test_gradients_no_affine(self, rng):
+        layer = nn.InstanceNorm2d(2, affine=False)
+        check_module_gradients(layer, rng.normal(size=(2, 2, 4, 4)), rtol=1e-3)
+
+    def test_removes_channel_style_shift(self, rng):
+        """InstanceNorm cancels a per-channel affine restyle — the property
+        AdaIN style transfer is built on."""
+        layer = nn.InstanceNorm2d(3, affine=False)
+        x = rng.normal(size=(4, 3, 8, 8))
+        styled = 3.0 * x + 7.0
+        # Tolerance reflects the eps asymmetry: sqrt(9*var+eps)/3 != sqrt(var+eps).
+        np.testing.assert_allclose(
+            layer.forward(x), layer.forward(styled), atol=1e-4
+        )
+
+
+class TestLayerNorm:
+    def test_normalizes_rows(self, rng):
+        layer = nn.LayerNorm(16)
+        x = rng.normal(loc=3.0, scale=2.0, size=(6, 16))
+        out = layer.forward(x)
+        np.testing.assert_allclose(out.mean(axis=1), 0.0, atol=1e-10)
+
+    def test_gradients(self, rng):
+        check_module_gradients(nn.LayerNorm(8), rng.normal(size=(4, 8)), rtol=1e-3)

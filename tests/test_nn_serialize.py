@@ -1,0 +1,154 @@
+"""Tests for state-dict arithmetic (the FL wire format), incl. properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.serialize import (
+    average_states,
+    flatten_state,
+    state_add,
+    state_allclose,
+    state_scale,
+    state_sub,
+    unflatten_state,
+    zeros_like_state,
+)
+
+
+def make_state(rng, offset=0.0):
+    return {
+        "a.weight": rng.normal(size=(3, 2)) + offset,
+        "a.bias": rng.normal(size=(2,)) + offset,
+        "b.weight": rng.normal(size=(4,)) + offset,
+    }
+
+
+class TestAverageStates:
+    def test_uniform_average(self, rng):
+        s1, s2 = make_state(rng), make_state(rng)
+        avg = average_states([s1, s2])
+        for key in s1:
+            np.testing.assert_allclose(avg[key], (s1[key] + s2[key]) / 2)
+
+    def test_weighted_by_dataset_size(self, rng):
+        s1, s2 = make_state(rng), make_state(rng)
+        avg = average_states([s1, s2], weights=[30, 10])
+        for key in s1:
+            np.testing.assert_allclose(avg[key], 0.75 * s1[key] + 0.25 * s2[key])
+
+    def test_single_state_identity(self, rng):
+        s = make_state(rng)
+        assert state_allclose(average_states([s]), s)
+
+    def test_rejects_key_mismatch(self, rng):
+        s1 = make_state(rng)
+        s2 = make_state(rng)
+        s2.pop("a.bias")
+        with pytest.raises(KeyError):
+            average_states([s1, s2])
+
+    def test_rejects_zero_total_weight(self, rng):
+        with pytest.raises(ValueError):
+            average_states([make_state(rng)], weights=[0.0])
+
+    def test_rejects_negative_weight(self, rng):
+        with pytest.raises(ValueError):
+            average_states([make_state(rng), make_state(rng)], weights=[1.0, -1.0])
+
+    def test_average_of_identical_states_is_identity(self, rng):
+        s = make_state(rng)
+        avg = average_states([s, s, s], weights=[5, 1, 2])
+        assert state_allclose(avg, s)
+
+
+class TestStateArithmetic:
+    def test_add_sub_round_trip(self, rng):
+        s1, s2 = make_state(rng), make_state(rng)
+        delta = state_sub(s1, s2)
+        back = state_add(s2, delta)
+        assert state_allclose(back, s1)
+
+    def test_scale(self, rng):
+        s = make_state(rng)
+        doubled = state_scale(s, 2.0)
+        for key in s:
+            np.testing.assert_allclose(doubled[key], 2 * s[key])
+
+    def test_zeros_like(self, rng):
+        zeros = zeros_like_state(make_state(rng))
+        assert all(np.all(v == 0) for v in zeros.values())
+
+
+class TestFlatten:
+    def test_round_trip(self, rng):
+        s = make_state(rng)
+        vector = flatten_state(s)
+        assert vector.shape == (3 * 2 + 2 + 4,)
+        restored = unflatten_state(vector, s)
+        assert state_allclose(restored, s)
+
+    def test_rejects_wrong_length(self, rng):
+        s = make_state(rng)
+        with pytest.raises(ValueError):
+            unflatten_state(np.zeros(3), s)
+        with pytest.raises(ValueError):
+            unflatten_state(np.zeros(1000), s)
+
+    def test_key_order_is_stable(self, rng):
+        s = make_state(rng)
+        reordered = {k: s[k] for k in reversed(list(s))}
+        np.testing.assert_array_equal(flatten_state(s), flatten_state(reordered))
+
+
+@st.composite
+def state_lists(draw):
+    """Random lists of compatible state dicts plus positive weights."""
+    n_states = draw(st.integers(min_value=1, max_value=4))
+    shapes = [(2, 3), (4,)]
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    states = [
+        {f"k{i}": rng.normal(size=shape) for i, shape in enumerate(shapes)}
+        for _ in range(n_states)
+    ]
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=100.0),
+            min_size=n_states,
+            max_size=n_states,
+        )
+    )
+    return states, weights
+
+
+class TestAveragingProperties:
+    @given(state_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_average_within_componentwise_bounds(self, states_weights):
+        """A convex combination never escapes the componentwise min/max."""
+        states, weights = states_weights
+        avg = average_states(states, weights)
+        for key in states[0]:
+            stack = np.stack([s[key] for s in states])
+            assert np.all(avg[key] <= stack.max(axis=0) + 1e-9)
+            assert np.all(avg[key] >= stack.min(axis=0) - 1e-9)
+
+    @given(state_lists(), st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_weight_scale_invariance(self, states_weights, factor):
+        """Scaling all weights by a constant leaves the average unchanged."""
+        states, weights = states_weights
+        base = average_states(states, weights)
+        scaled = average_states(states, [w * factor for w in weights])
+        assert state_allclose(base, scaled, atol=1e-8)
+
+    @given(state_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_flatten_round_trip_property(self, states_weights):
+        states, _ = states_weights
+        for state in states:
+            assert state_allclose(
+                unflatten_state(flatten_state(state), state), state
+            )

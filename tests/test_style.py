@@ -1,0 +1,208 @@
+"""Tests for the style-transfer substrate: encoders, statistics, AdaIN.
+
+Property tests pin down the invariants PARDON's mechanism relies on:
+AdaIN really sets the target statistics, it is idempotent, and the
+invertible encoder round-trips exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.style import (
+    FrozenConvEncoder,
+    InvertibleEncoder,
+    StyleVector,
+    adain,
+    apply_style_to_images,
+    depth_to_space,
+    per_sample_style_stats,
+    pooled_style,
+    space_to_depth,
+)
+
+
+class TestSpaceToDepth:
+    def test_round_trip(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        np.testing.assert_array_equal(depth_to_space(space_to_depth(x, 2), 2), x)
+
+    def test_shapes(self, rng):
+        out = space_to_depth(rng.normal(size=(2, 3, 8, 8)), 2)
+        assert out.shape == (2, 12, 4, 4)
+
+    def test_rejects_indivisible(self, rng):
+        with pytest.raises(ValueError):
+            space_to_depth(rng.normal(size=(1, 3, 7, 8)), 2)
+        with pytest.raises(ValueError):
+            depth_to_space(rng.normal(size=(1, 3, 4, 4)), 2)
+
+
+class TestInvertibleEncoder:
+    def test_encode_decode_exact(self, rng):
+        encoder = InvertibleEncoder(levels=2, seed=7)
+        images = rng.normal(size=(4, 3, 16, 16))
+        features = encoder.encode(images)
+        assert features.shape == (4, 48, 4, 4)
+        np.testing.assert_allclose(encoder.decode(features), images, atol=1e-10)
+
+    def test_energy_preserved(self, rng):
+        """Orthogonal mixes preserve the L2 norm — no information is lost."""
+        encoder = InvertibleEncoder(levels=2, seed=7)
+        images = rng.normal(size=(3, 3, 16, 16))
+        features = encoder.encode(images)
+        np.testing.assert_allclose(
+            np.linalg.norm(features), np.linalg.norm(images), rtol=1e-10
+        )
+
+    def test_same_seed_same_encoder(self, rng):
+        images = rng.normal(size=(2, 3, 8, 8))
+        a = InvertibleEncoder(levels=1, seed=3).encode(images)
+        b = InvertibleEncoder(levels=1, seed=3).encode(images)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validates_input(self, rng):
+        encoder = InvertibleEncoder(levels=1)
+        with pytest.raises(ValueError):
+            encoder.encode(rng.normal(size=(2, 4, 8, 8)))
+        with pytest.raises(ValueError):
+            encoder.decode(rng.normal(size=(2, 5, 4, 4)))
+        with pytest.raises(ValueError):
+            InvertibleEncoder(levels=0)
+
+
+class TestStyleVector:
+    def test_array_round_trip(self, rng):
+        sv = StyleVector(mu=rng.normal(size=5), sigma=np.abs(rng.normal(size=5)))
+        back = StyleVector.from_array(sv.to_array())
+        np.testing.assert_array_equal(back.mu, sv.mu)
+        np.testing.assert_array_equal(back.sigma, sv.sigma)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            StyleVector(mu=np.zeros(3), sigma=np.zeros(4))
+        with pytest.raises(ValueError):
+            StyleVector(mu=np.zeros(3), sigma=-np.ones(3))
+        with pytest.raises(ValueError):
+            StyleVector.from_array(np.zeros(5))
+
+
+class TestStyleStats:
+    def test_per_sample_shapes(self, rng):
+        mu, sigma = per_sample_style_stats(rng.normal(size=(6, 4, 8, 8)))
+        assert mu.shape == (6, 4) and sigma.shape == (6, 4)
+
+    def test_pooled_matches_manual(self, rng):
+        feats = rng.normal(loc=2.0, size=(5, 3, 4, 4))
+        style = pooled_style(feats)
+        np.testing.assert_allclose(style.mu, feats.mean(axis=(0, 2, 3)))
+        np.testing.assert_allclose(style.sigma, feats.std(axis=(0, 2, 3)))
+
+    def test_pooled_rejects_empty(self):
+        with pytest.raises(ValueError):
+            pooled_style(np.zeros((0, 3, 4, 4)))
+
+
+class TestAdaIN:
+    def test_sets_target_statistics(self, rng):
+        feats = rng.normal(loc=3.0, scale=2.0, size=(4, 5, 8, 8))
+        target = StyleVector(mu=np.arange(5.0), sigma=np.full(5, 0.5))
+        out = adain(feats, target)
+        np.testing.assert_allclose(out.mean(axis=(2, 3)),
+                                   np.tile(np.arange(5.0), (4, 1)), atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=(2, 3)), 0.5, atol=1e-3)
+
+    def test_idempotent(self, rng):
+        feats = rng.normal(size=(3, 4, 8, 8))
+        target = StyleVector(mu=rng.normal(size=4), sigma=np.abs(rng.normal(size=4)) + 0.1)
+        once = adain(feats, target)
+        twice = adain(once, target)
+        np.testing.assert_allclose(once, twice, atol=1e-4)
+
+    def test_preserves_normalized_content(self, rng):
+        """AdaIN only touches first/second moments: the per-sample
+        normalized pattern is unchanged."""
+        feats = rng.normal(size=(2, 3, 8, 8))
+        target = StyleVector(mu=np.ones(3), sigma=np.full(3, 2.0))
+        out = adain(feats, target)
+        def normalize(f):
+            m = f.mean(axis=(2, 3), keepdims=True)
+            s = f.std(axis=(2, 3), keepdims=True)
+            return (f - m) / (s + 1e-9)
+        np.testing.assert_allclose(normalize(out), normalize(feats), atol=1e-3)
+
+    def test_zero_variance_channel_guarded(self):
+        feats = np.ones((1, 2, 4, 4))  # constant channels
+        target = StyleVector(mu=np.array([5.0, -5.0]), sigma=np.array([1.0, 1.0]))
+        out = adain(feats, target)
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out.mean(axis=(2, 3)), [[5.0, -5.0]], atol=1e-6)
+
+    def test_channel_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            adain(rng.normal(size=(1, 3, 4, 4)),
+                  StyleVector(mu=np.zeros(5), sigma=np.ones(5)))
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_target_stats_reached(self, seed):
+        rng = np.random.default_rng(seed)
+        feats = rng.normal(loc=rng.normal(), scale=abs(rng.normal()) + 0.5,
+                           size=(3, 4, 6, 6))
+        target = StyleVector(
+            mu=rng.normal(size=4), sigma=np.abs(rng.normal(size=4)) + 0.05
+        )
+        out = adain(feats, target)
+        np.testing.assert_allclose(
+            out.mean(axis=(2, 3)), np.tile(target.mu, (3, 1)), atol=1e-6
+        )
+
+
+class TestImageSpaceTransfer:
+    def test_transferred_images_carry_target_style(self, rng):
+        encoder = InvertibleEncoder(levels=1, seed=7)
+        images = rng.normal(loc=1.0, size=(4, 3, 8, 8))
+        target = StyleVector(mu=np.zeros(12), sigma=np.ones(12))
+        transferred = apply_style_to_images(images, target, encoder)
+        feats = encoder.encode(transferred)
+        np.testing.assert_allclose(feats.mean(axis=(2, 3)), 0.0, atol=1e-6)
+
+    def test_transfer_to_own_style_is_near_identity(self, rng):
+        encoder = InvertibleEncoder(levels=1, seed=7)
+        images = rng.normal(size=(8, 3, 8, 8))
+        feats = encoder.encode(images)
+        # Per-sample transfer back to each sample's own pooled style should
+        # approximately reproduce the image set's statistics.
+        own = pooled_style(feats)
+        transferred = apply_style_to_images(images, own, encoder)
+        orig_mu = encoder.encode(images).mean(axis=(0, 2, 3))
+        new_mu = encoder.encode(transferred).mean(axis=(0, 2, 3))
+        np.testing.assert_allclose(new_mu, orig_mu, atol=0.5)
+
+
+class TestFrozenConvEncoder:
+    def test_shapes(self, rng):
+        encoder = FrozenConvEncoder(widths=(8, 16), seed=11)
+        images = rng.normal(size=(3, 3, 16, 16))
+        feats = encoder.encode(images)
+        assert feats.shape == (3, 16, 4, 4)
+        pooled = encoder.pooled(images)
+        assert pooled.shape == (3, 32)  # per-channel mean + std
+
+    def test_deterministic(self, rng):
+        images = rng.normal(size=(2, 3, 8, 8))
+        a = FrozenConvEncoder(seed=4).pooled(images)
+        b = FrozenConvEncoder(seed=4).pooled(images)
+        np.testing.assert_array_equal(a, b)
+
+    def test_distinguishes_styles(self, rng):
+        """Different channel statistics land in different feature regions —
+        what makes the FID metric meaningful."""
+        base = rng.normal(size=(16, 3, 8, 8))
+        shifted = base * 2.0 + 1.0
+        encoder = FrozenConvEncoder(seed=11)
+        gap = np.linalg.norm(
+            encoder.pooled(base).mean(axis=0) - encoder.pooled(shifted).mean(axis=0)
+        )
+        assert gap > 0.5
