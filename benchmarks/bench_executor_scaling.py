@@ -1,0 +1,120 @@
+"""Executor scaling — wall-clock of one federated run vs. worker count.
+
+Complements Fig. 5 (accuracy vs. client count) with the systems half of the
+scalability story: the same round loop, same seeds, and same trace, executed
+serially and on process pools of 2 and 4 workers.  Reported per row: the
+summed per-client compute time, the elapsed wall clock of the local phase,
+and their ratio (the achieved speedup).  Shape to check: wall clock drops as
+workers increase, bounded by the machine's core count.  The compute column
+is per-worker wall time, so it inflates when workers outnumber free cores
+(contention) — the speedup column is the honest headline number.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import bench_rounds, emit, samples_per_class
+
+from repro.baselines import FedAvgStrategy
+from repro.data import synthetic_pacs, partition_clients
+from repro.fl import (
+    Client,
+    FederatedConfig,
+    FederatedServer,
+    LocalTrainingConfig,
+    make_executor,
+)
+from repro.nn.models import build_cnn_model
+from repro.utils.tables import format_table
+
+CLIENTS_PER_ROUND = 8
+NUM_CLIENTS = 16
+WORKER_GRID = [1, 2, 4]
+
+
+def _run_with_workers(suite, rounds: int, workers: int):
+    partition = partition_clients(
+        suite, [0, 1], NUM_CLIENTS, 0.1, np.random.default_rng(0)
+    )
+    clients = [Client(i, d) for i, d in enumerate(partition.client_datasets)]
+    model = build_cnn_model(
+        suite.image_shape, suite.num_classes, rng=np.random.default_rng(0)
+    )
+    executor = make_executor(
+        "serial" if workers == 1 else "parallel",
+        workers=None if workers == 1 else workers,
+    )
+    server = FederatedServer(
+        strategy=FedAvgStrategy(LocalTrainingConfig(batch_size=32)),
+        clients=clients,
+        model=model,
+        eval_sets={"test": suite.datasets[3]},
+        config=FederatedConfig(
+            num_rounds=rounds, clients_per_round=CLIENTS_PER_ROUND, seed=0
+        ),
+        executor=executor,
+    )
+    try:
+        return server.run()
+    finally:
+        executor.close()
+
+
+def _trace_of(result):
+    """The full per-round trace plus the final accuracies — what must be
+    engine-invariant."""
+    return (
+        [
+            (r.round_index, r.mean_local_loss, tuple(r.participants),
+             tuple(sorted(r.eval_accuracy.items())))
+            for r in result.history.records
+        ],
+        tuple(sorted(result.final_accuracy.items())),
+    )
+
+
+def _run(suite) -> str:
+    rounds = bench_rounds(4)
+    rows = []
+    baseline_trace = None
+    for workers in WORKER_GRID:
+        result = _run_with_workers(suite, rounds, workers)
+        timing = result.timing
+        trace = _trace_of(result)
+        if baseline_trace is None:
+            baseline_trace = trace
+        rows.append(
+            [
+                "serial" if workers == 1 else f"parallel x{workers}",
+                f"{timing.local_train_seconds_total:.2f}",
+                f"{timing.local_train_wall_seconds_total:.2f}",
+                f"{timing.local_train_speedup:.2f}",
+                "yes" if trace == baseline_trace else "NO",
+            ]
+        )
+    return format_table(
+        [
+            "Executor",
+            "compute (s, all clients)",
+            "local wall clock (s)",
+            "speedup",
+            "trace == serial",
+        ],
+        rows,
+        title=(
+            f"Executor scaling — {rounds} rounds, "
+            f"{CLIENTS_PER_ROUND}/{NUM_CLIENTS} clients per round"
+        ),
+    )
+
+
+def test_executor_scaling(benchmark):
+    suite = synthetic_pacs(seed=0, samples_per_class=samples_per_class(40))
+    table = benchmark.pedantic(lambda: _run(suite), rounds=1, iterations=1)
+    emit("executor_scaling", table)
+
+
+if __name__ == "__main__":
+    suite = synthetic_pacs(seed=0, samples_per_class=samples_per_class(40))
+    emit("executor_scaling", _run(suite))

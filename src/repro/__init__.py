@@ -47,10 +47,14 @@ from repro.eval import (
 )
 from repro.fl import (
     Client,
+    ClientUpdate,
     FederatedConfig,
     FederatedServer,
     LocalTrainingConfig,
+    ParallelExecutor,
+    SerialExecutor,
     Strategy,
+    make_executor,
 )
 
 __version__ = "1.0.0"
@@ -73,9 +77,13 @@ __all__ = [
     "run_fixed_split_protocol",
     "run_split_experiment",
     "Client",
+    "ClientUpdate",
     "FederatedConfig",
     "FederatedServer",
     "LocalTrainingConfig",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
     "Strategy",
     "__version__",
 ]

@@ -21,10 +21,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fl.client import Client
+from repro.fl.executor import ClientUpdate
 from repro.fl.strategy import LocalTrainingConfig, Strategy
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.models import FeatureClassifierModel
-from repro.nn.serialize import StateDict
 from repro.style.adain import (
     StyleVector,
     apply_style_to_images,
@@ -111,9 +111,9 @@ class CCSTStrategy(Strategy):
         model: FeatureClassifierModel,
         round_index: int,
         rng: np.random.Generator,
-    ) -> tuple[StateDict, float]:
+    ) -> ClientUpdate:
         if client.num_samples == 0:
-            return model.state_dict(), 0.0
+            return ClientUpdate.from_client(client, model.state_dict(), 0.0)
         images = client.dataset.images
         labels = client.dataset.labels
         foreign = self._foreign_styles(client.client_id)
@@ -148,4 +148,8 @@ class CCSTStrategy(Strategy):
                 model.backward(grad_logits=criterion.backward())
                 optimizer.step()
                 losses.append(loss)
-        return model.state_dict(), float(np.mean(losses)) if losses else 0.0
+        return ClientUpdate.from_client(
+            client,
+            model.state_dict(),
+            float(np.mean(losses)) if losses else 0.0,
+        )

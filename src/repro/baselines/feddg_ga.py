@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.fl.evaluation import evaluate_loss
 from repro.fl.client import Client
+from repro.fl.executor import ClientUpdate
 from repro.fl.strategy import LocalTrainingConfig, Strategy
 from repro.nn.models import FeatureClassifierModel
 from repro.nn.serialize import StateDict, average_states
@@ -25,6 +26,11 @@ class FedDGGAStrategy(Strategy):
     """FedDG-GA: generalization-gap-adjusted aggregation weights."""
 
     name = "feddg_ga"
+
+    # The workspace-model handle and the client registry exist purely for
+    # server-side gap evaluation inside aggregate(); they must not ship to
+    # local-update workers (the registry would drag every dataset along).
+    _server_only_state = ("_model_ref", "_clients_by_id")
 
     def __init__(
         self,
@@ -46,6 +52,7 @@ class FedDGGAStrategy(Strategy):
         self.client_weights: dict[int, float] = {}
         self._gap_trace: dict[int, float] = {}
         self._model_ref: FeatureClassifierModel | None = None
+        self._clients_by_id: dict[int, Client] | None = None
 
     def prepare(
         self,
@@ -55,15 +62,17 @@ class FedDGGAStrategy(Strategy):
     ) -> None:
         # Keep a handle on the workspace model for gap evaluation; the
         # simulation core reloads its weights before every use, so mutating
-        # them inside aggregate() is safe.
+        # them inside aggregate() is safe.  The client registry lets
+        # aggregate() find a participant's dataset from its upload id.
         self._model_ref = model
+        self._clients_by_id = {client.client_id: client for client in clients}
         for client in clients:
             self.client_weights.setdefault(client.client_id, 1.0)
 
     def aggregate(
         self,
         global_state: StateDict,
-        updates: list[tuple[Client, StateDict]],
+        updates: list[ClientUpdate],
         round_index: int,
     ) -> StateDict:
         if not updates:
@@ -72,31 +81,39 @@ class FedDGGAStrategy(Strategy):
         # round's participants).
         raw = np.array(
             [
-                self.client_weights.get(client.client_id, 1.0)
-                for client, _ in updates
+                self.client_weights.get(update.client_id, 1.0)
+                for update in updates
             ]
         )
-        new_state = average_states([state for _, state in updates], raw)
+        new_state = average_states([update.state for update in updates], raw)
 
         # Measure the generalization gap of the new global model on each
-        # participant and adjust weights for future rounds.
-        if self._model_ref is not None and self.step_size > 0:
+        # participant and adjust weights for future rounds.  Participants
+        # missing from the registry (e.g. clients added after prepare())
+        # simply keep their current weight — gap evaluation needs a dataset.
+        registry = self._clients_by_id or {}
+        participants = [
+            registry[update.client_id]
+            for update in updates
+            if update.client_id in registry
+        ]
+        if self._model_ref is not None and self.step_size > 0 and participants:
             self._model_ref.load_state_dict(new_state)
             gaps = np.array(
                 [
                     evaluate_loss(self._model_ref, client.dataset)
-                    for client, _ in updates
+                    for client in participants
                 ]
             )
             self._gap_trace = {
                 client.client_id: float(gap)
-                for (client, _), gap in zip(updates, gaps)
+                for client, gap in zip(participants, gaps)
             }
             centered = gaps - gaps.mean()
             scale = np.max(np.abs(centered))
             if scale > 0:
                 adjustment = self.step_size * centered / scale
-                for (client, _), delta in zip(updates, adjustment):
+                for client, delta in zip(participants, adjustment):
                     old = self.client_weights.get(client.client_id, 1.0)
                     updated = (
                         self.momentum * old

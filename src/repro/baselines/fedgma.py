@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.fl.client import Client
+from repro.fl.executor import ClientUpdate
 from repro.fl.strategy import LocalTrainingConfig, Strategy
 from repro.nn.serialize import StateDict, state_sub
 
@@ -43,16 +43,16 @@ class FedGMAStrategy(Strategy):
     def aggregate(
         self,
         global_state: StateDict,
-        updates: list[tuple[Client, StateDict]],
+        updates: list[ClientUpdate],
         round_index: int,
     ) -> StateDict:
         if not updates:
             return global_state
         weights = np.array(
-            [max(float(client.num_samples), 1.0) for client, _ in updates]
+            [max(float(update.num_samples), 1.0) for update in updates]
         )
         weights = weights / weights.sum()
-        deltas = [state_sub(state, global_state) for _, state in updates]
+        deltas = [state_sub(update.state, global_state) for update in updates]
 
         new_state: StateDict = {}
         for key in global_state:

@@ -18,10 +18,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fl.client import Client
+from repro.fl.executor import ClientUpdate
 from repro.fl.strategy import LocalTrainingConfig, Strategy
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.models import FeatureClassifierModel
-from repro.nn.serialize import StateDict
 
 __all__ = ["FedSRStrategy"]
 
@@ -49,9 +49,9 @@ class FedSRStrategy(Strategy):
         model: FeatureClassifierModel,
         round_index: int,
         rng: np.random.Generator,
-    ) -> tuple[StateDict, float]:
+    ) -> ClientUpdate:
         if client.num_samples == 0:
-            return model.state_dict(), 0.0
+            return ClientUpdate.from_client(client, model.state_dict(), 0.0)
         images = client.dataset.images
         labels = client.dataset.labels
         model.train()
@@ -97,4 +97,8 @@ class FedSRStrategy(Strategy):
                 )
                 optimizer.step()
                 losses.append(ce_loss + reg_loss)
-        return model.state_dict(), float(np.mean(losses)) if losses else 0.0
+        return ClientUpdate.from_client(
+            client,
+            model.state_dict(),
+            float(np.mean(losses)) if losses else 0.0,
+        )

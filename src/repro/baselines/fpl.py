@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.clustering.finch import finch
 from repro.fl.client import Client
+from repro.fl.executor import ClientUpdate
 from repro.fl.strategy import LocalTrainingConfig, Strategy
 from repro.nn.functional import softmax
 from repro.nn.losses import CrossEntropyLoss
@@ -45,8 +46,6 @@ class FPLStrategy(Strategy):
         self.temperature = temperature
         # class id -> (embed_dim,) unbiased global prototype
         self.global_prototypes: dict[int, np.ndarray] = {}
-        # staging area: class id -> list of client prototypes this round
-        self._round_prototypes: dict[int, list[np.ndarray]] = {}
 
     # -- client side ----------------------------------------------------------
 
@@ -98,9 +97,9 @@ class FPLStrategy(Strategy):
         model: FeatureClassifierModel,
         round_index: int,
         rng: np.random.Generator,
-    ) -> tuple[StateDict, float]:
+    ) -> ClientUpdate:
         if client.num_samples == 0:
-            return model.state_dict(), 0.0
+            return ClientUpdate.from_client(client, model.state_dict(), 0.0)
         images = client.dataset.images
         labels = client.dataset.labels
         model.train()
@@ -126,7 +125,9 @@ class FPLStrategy(Strategy):
                 optimizer.step()
                 losses.append(ce_loss + self.proto_weight * proto_loss)
 
-        # Upload this client's per-class prototypes for the server round.
+        # Upload this client's per-class prototypes alongside the weights —
+        # explicit payload, never strategy mutation, so the update is valid
+        # under any execution engine.
         model.eval()
         all_embeddings = []
         for start in range(0, n, 256):
@@ -134,24 +135,35 @@ class FPLStrategy(Strategy):
                 model.forward_features(images[start : start + 256])
             )
         embeddings = np.concatenate(all_embeddings, axis=0)
-        for label in np.unique(labels):
-            prototype = embeddings[labels == label].mean(axis=0)
-            self._round_prototypes.setdefault(int(label), []).append(prototype)
+        prototypes = {
+            int(label): embeddings[labels == label].mean(axis=0)
+            for label in np.unique(labels)
+        }
         model.train()
-        return model.state_dict(), float(np.mean(losses)) if losses else 0.0
+        return ClientUpdate.from_client(
+            client,
+            model.state_dict(),
+            float(np.mean(losses)) if losses else 0.0,
+            payload={"prototypes": prototypes},
+        )
 
     # -- server side ------------------------------------------------------------
 
     def aggregate(
         self,
         global_state: StateDict,
-        updates: list[tuple[Client, StateDict]],
+        updates: list[ClientUpdate],
         round_index: int,
     ) -> StateDict:
         new_state = super().aggregate(global_state, updates, round_index)
-        # Unbiased prototype fusion: cluster each class's client prototypes,
-        # average inside clusters, then average the cluster centres.
-        for label, prototypes in self._round_prototypes.items():
+        # Unbiased prototype fusion: cluster each class's client prototypes
+        # (uploaded in the round's payloads), average inside clusters, then
+        # average the cluster centres.
+        round_prototypes: dict[int, list[np.ndarray]] = {}
+        for update in updates:
+            for label, prototype in update.payload.get("prototypes", {}).items():
+                round_prototypes.setdefault(int(label), []).append(prototype)
+        for label, prototypes in round_prototypes.items():
             matrix = np.stack(prototypes)
             if matrix.shape[0] >= 3:
                 labels = finch(matrix, metric="cosine").last
@@ -165,5 +177,4 @@ class FPLStrategy(Strategy):
             else:
                 fused = matrix.mean(axis=0)
             self.global_prototypes[label] = fused
-        self._round_prototypes = {}
         return new_state

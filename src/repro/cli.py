@@ -39,6 +39,7 @@ from repro.eval import (
     run_lodo_protocol,
     run_split_experiment,
 )
+from repro.fl.executor import EXECUTOR_KINDS
 from repro.fl.strategy import Strategy
 from repro.utils.tables import format_percent, format_table
 
@@ -70,20 +71,65 @@ def _setting_from_args(args: argparse.Namespace) -> ExperimentSetting:
         num_rounds=args.rounds,
         eval_every=max(args.rounds // 4, 1),
         seed=args.seed,
+        executor=args.executor,
+        workers=args.workers,
     )
+
+
+def _participation(value: str) -> int | float:
+    """``"3"`` is a client count, ``"0.25"`` a participation fraction.
+
+    Validated at parse time so a bad value is a usage error, not a
+    traceback from inside the experiment.
+    """
+    try:
+        count = int(value)
+    except ValueError:
+        pass
+    else:
+        if count < 1:
+            raise argparse.ArgumentTypeError(
+                f"a client count must be >= 1, got {value!r}"
+            )
+        return count
+    try:
+        number = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{value!r} is not a number")
+    if not 0.0 < number <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"a fractional participation must be in (0, 1]; write an "
+            f"integer for a client count, got {value!r}"
+        )
+    return number
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value!r}")
+    return number
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--suite", choices=sorted(SUITES), required=True)
     parser.add_argument("--method", choices=sorted(METHODS), required=True)
-    parser.add_argument("--clients", type=int, default=20)
+    parser.add_argument("--clients", type=_positive_int, default=20)
     parser.add_argument(
-        "--participation", type=float, default=0.25,
+        "--participation", type=_participation, default=0.25,
         help="fraction (0,1] or integer count of clients per round",
     )
     parser.add_argument("--heterogeneity", type=float, default=0.1)
     parser.add_argument("--rounds", type=int, default=20)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--executor", choices=sorted(EXECUTOR_KINDS), default="serial",
+        help="client-execution engine for each round's local updates",
+    )
+    parser.add_argument(
+        "--workers", type=_positive_int, default=None,
+        help="worker-process count for --executor parallel",
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -159,7 +205,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "workers", None) is not None and args.executor != "parallel":
+        parser.error("--workers only applies with --executor parallel")
     return args.func(args)
 
 

@@ -25,9 +25,9 @@ from repro.core.contrastive import pardon_batch_step
 from repro.core.interpolation import extract_interpolation_style
 from repro.core.local_style import compute_client_style
 from repro.fl.client import Client
+from repro.fl.executor import ClientUpdate
 from repro.fl.strategy import LocalTrainingConfig, Strategy
 from repro.nn.models import FeatureClassifierModel
-from repro.nn.serialize import StateDict
 from repro.style.adain import StyleVector, apply_style_to_images
 from repro.style.encoder import InvertibleEncoder
 from repro.utils.logging import get_logger
@@ -126,9 +126,9 @@ class PardonStrategy(Strategy):
         model: FeatureClassifierModel,
         round_index: int,
         rng: np.random.Generator,
-    ) -> tuple[StateDict, float]:
+    ) -> ClientUpdate:
         if client.num_samples == 0:
-            return model.state_dict(), 0.0
+            return ClientUpdate.from_client(client, model.state_dict(), 0.0)
         images = client.dataset.images
         labels = client.dataset.labels
         transferred = self._transferred_images(client, rng)
@@ -151,4 +151,8 @@ class PardonStrategy(Strategy):
                     optimizer=optimizer,
                 )
                 losses.append(result.total)
-        return model.state_dict(), float(np.mean(losses)) if losses else 0.0
+        return ClientUpdate.from_client(
+            client,
+            model.state_dict(),
+            float(np.mean(losses)) if losses else 0.0,
+        )

@@ -16,6 +16,7 @@ import numpy as np
 from repro.data.partition import lodo_splits, ltdo_splits, partition_clients
 from repro.data.synthetic import DomainSuite, LabeledDataset
 from repro.fl.client import Client
+from repro.fl.executor import Executor, make_executor
 from repro.fl.server import FederatedConfig, FederatedResult, FederatedServer
 from repro.fl.strategy import Strategy
 from repro.nn.models import FeatureClassifierModel, build_cnn_model
@@ -48,6 +49,12 @@ class ExperimentSetting:
     seed: int = 0
     model_widths: tuple[int, int] = (16, 32)
     embed_dim: int = 64
+    executor: str = "serial"
+    workers: int | None = None
+
+    def make_executor(self) -> Executor:
+        """The client-execution engine this setting asks for."""
+        return make_executor(self.executor, self.workers)
 
     def model_factory(self, suite: DomainSuite) -> ModelFactory:
         def build(rng: np.random.Generator) -> FeatureClassifierModel:
@@ -99,8 +106,14 @@ def run_split_experiment(
     split: dict[str, list[int]],
     strategy: Strategy,
     setting: ExperimentSetting,
+    executor: Executor | None = None,
 ) -> SplitOutcome:
-    """Run one strategy on one (train, val, test) domain split."""
+    """Run one strategy on one (train, val, test) domain split.
+
+    ``executor`` lets protocol sweeps share one engine (and its warm worker
+    pool) across splits; when omitted, one is built from ``setting`` and
+    closed before returning.
+    """
     clients = make_clients(suite, split["train"], setting, seed_label=tuple(split["train"]))
     tree = SeedTree(setting.seed).child(suite.name, "model")
     model = setting.model_factory(suite)(tree.generator("init"))
@@ -108,6 +121,8 @@ def run_split_experiment(
         "val": suite.merged(split["val"]),
         "test": suite.merged(split["test"]),
     }
+    owns_executor = executor is None
+    executor = executor or setting.make_executor()
     server = FederatedServer(
         strategy=strategy,
         clients=clients,
@@ -119,8 +134,13 @@ def run_split_experiment(
             eval_every=setting.eval_every,
             seed=setting.seed,
         ),
+        executor=executor,
     )
-    result = server.run()
+    try:
+        result = server.run()
+    finally:
+        if owns_executor:
+            executor.close()
     return SplitOutcome(
         val_accuracy=result.final_accuracy["val"],
         test_accuracy=result.final_accuracy["test"],
@@ -138,14 +158,16 @@ def run_lodo_protocol(
     """Leave-One-Domain-Out (paper Table II): one outcome per held-out domain.
 
     ``strategy_factory`` is called once per split so no method state leaks
-    between splits.
+    between splits; one execution engine (and its warm worker pool) serves
+    every split.
     """
     outcomes: dict[str, SplitOutcome] = {}
-    for split in lodo_splits(suite.num_domains):
-        held_out = suite.domain_names[split["val"][0]]
-        outcomes[held_out] = run_split_experiment(
-            suite, split, strategy_factory(), setting
-        )
+    with setting.make_executor() as executor:
+        for split in lodo_splits(suite.num_domains):
+            held_out = suite.domain_names[split["val"][0]]
+            outcomes[held_out] = run_split_experiment(
+                suite, split, strategy_factory(), setting, executor=executor
+            )
     return outcomes
 
 
@@ -156,11 +178,12 @@ def run_ltdo_protocol(
 ) -> dict[str, SplitOutcome]:
     """Leave-Two-Domains-Out (paper Table I): keyed by the validation domain."""
     outcomes: dict[str, SplitOutcome] = {}
-    for split in ltdo_splits(suite.num_domains):
-        val_domain = suite.domain_names[split["val"][0]]
-        outcomes[val_domain] = run_split_experiment(
-            suite, split, strategy_factory(), setting
-        )
+    with setting.make_executor() as executor:
+        for split in ltdo_splits(suite.num_domains):
+            val_domain = suite.domain_names[split["val"][0]]
+            outcomes[val_domain] = run_split_experiment(
+                suite, split, strategy_factory(), setting, executor=executor
+            )
     return outcomes
 
 

@@ -8,6 +8,13 @@ methods plug in through :class:`repro.fl.Strategy`.
 from repro.fl.client import Client
 from repro.fl.communication import CommunicationModel, method_communication
 from repro.fl.evaluation import evaluate_accuracy, evaluate_loss
+from repro.fl.executor import (
+    ClientUpdate,
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
 from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.sampling import UniformClientSampler
 from repro.fl.secure import SecureAggregator, masked_upload
@@ -17,10 +24,15 @@ from repro.fl.timing import PhaseTimer, TimingReport
 
 __all__ = [
     "Client",
+    "ClientUpdate",
     "CommunicationModel",
     "method_communication",
     "evaluate_accuracy",
     "evaluate_loss",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
     "RoundRecord",
     "RunHistory",
     "UniformClientSampler",

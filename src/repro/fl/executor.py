@@ -1,0 +1,364 @@
+"""Client-execution engines: how one round's local updates actually run.
+
+The round loop in :mod:`repro.fl.server` is *what* federated learning does
+(sample, broadcast, locally train, aggregate); this module is *how* the
+local-training fan-out executes.  Two engines share one contract:
+
+* :class:`SerialExecutor` — trains every participant in order on the
+  server's workspace model.  Bit-identical to the historical behaviour and
+  the default everywhere.
+* :class:`ParallelExecutor` — fans participants out to a process pool.
+  Each worker holds a model clone (shipped once at pool start-up through
+  :func:`repro.nn.serialize.encode_payload`) and rebuilds the broadcast
+  weights per task, so wall-clock scales with workers instead of with the
+  participant count (paper §IV-B-3's scalability axis).
+
+Both return the same :class:`ClientUpdate` records in sampling order, so
+aggregation — and therefore the whole run trace — is independent of the
+engine.  Determinism holds because per-(client, round) RNG seeds are derived
+from the :class:`repro.utils.rng.SeedTree` *before* dispatch and travel with
+the task.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor as _ProcessPool
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import multiprocessing
+import numpy as np
+
+from repro.fl.client import Client
+from repro.nn.serialize import StateDict, decode_payload, encode_payload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.fl.strategy import Strategy
+    from repro.nn.models import FeatureClassifierModel
+
+__all__ = [
+    "ClientUpdate",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+    "EXECUTOR_KINDS",
+]
+
+EXECUTOR_KINDS = ("serial", "parallel")
+
+
+@dataclass
+class ClientUpdate:
+    """Everything one client sends back after a local update.
+
+    This is the upload half of the federated wire protocol: it must stay
+    serializable (checked by the parallel engine on every hop), and it is the
+    *only* channel through which a local update may influence the server.
+    Strategies therefore put method-specific uploads — FPL's class
+    prototypes, for instance — into ``payload`` instead of mutating strategy
+    state from inside :meth:`repro.fl.strategy.Strategy.local_update`.
+
+    ``scratch`` is a snapshot of the client's whole scratch dict after the
+    update (filled in by the executor, not by strategies) and *replaces* the
+    server-side copy, so additions and deletions both persist; and
+    ``train_seconds`` is the worker-measured wall clock of the update, so the
+    timing report stays fair when updates overlap.
+    """
+
+    client_id: int
+    num_samples: int
+    state: StateDict
+    loss: float
+    payload: dict[str, object] = field(default_factory=dict)
+    scratch: dict = field(default_factory=dict)
+    train_seconds: float = 0.0
+
+    @classmethod
+    def from_client(
+        cls,
+        client: Client,
+        state: StateDict,
+        loss: float,
+        payload: dict[str, object] | None = None,
+    ) -> "ClientUpdate":
+        """The standard way a strategy wraps its local-update result."""
+        return cls(
+            client_id=client.client_id,
+            num_samples=client.num_samples,
+            state=state,
+            loss=float(loss),
+            payload=payload or {},
+        )
+
+
+def _timed_local_update(
+    strategy: "Strategy",
+    client: Client,
+    model: "FeatureClassifierModel",
+    round_index: int,
+    seed: int,
+) -> ClientUpdate:
+    """Run one local update on ``model`` (already holding the broadcast
+    weights) and stamp its wall clock + scratch snapshot."""
+    rng = np.random.default_rng(seed)
+    start = time.perf_counter()
+    update = strategy.local_update(client, model, round_index, rng)
+    update.train_seconds = time.perf_counter() - start
+    update.scratch = client.scratch
+    return update
+
+
+class Executor:
+    """Engine contract: run one round's sampled clients, in sampling order.
+
+    ``participants`` and ``seeds`` are aligned; ``model`` is the server's
+    architecture template (serial engines train on it directly, parallel
+    engines clone it per worker).  Implementations must return one
+    :class:`ClientUpdate` per participant, in the same order.
+    """
+
+    def run_round(
+        self,
+        strategy: "Strategy",
+        model: "FeatureClassifierModel",
+        global_state: StateDict,
+        participants: Sequence[Client],
+        round_index: int,
+        seeds: Sequence[int],
+    ) -> list[ClientUpdate]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any worker resources.  Idempotent; engines may be reused
+        after closing (pools are rebuilt lazily)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Train participants one after another on the server's workspace model.
+
+    The workspace pattern means zero copies: the global weights are loaded
+    into ``model`` before each participant, so state never leaks between
+    clients through the model object.
+    """
+
+    def run_round(
+        self,
+        strategy: "Strategy",
+        model: "FeatureClassifierModel",
+        global_state: StateDict,
+        participants: Sequence[Client],
+        round_index: int,
+        seeds: Sequence[int],
+    ) -> list[ClientUpdate]:
+        updates = []
+        for client, seed in zip(participants, seeds):
+            model.load_state_dict(global_state)
+            updates.append(
+                _timed_local_update(strategy, client, model, round_index, seed)
+            )
+        return updates
+
+
+# -- process-pool engine ------------------------------------------------------
+#
+# Workers keep a module-global model clone so the architecture ships once per
+# worker instead of once per task; the broadcast weights and the strategy
+# travel with each task, mirroring a real deployment's download link.  The
+# strategy blob is identical for every task of a round, so each worker
+# caches its decode keyed on the bytes (the contract already forbids
+# strategies mutating themselves inside local_update, so reuse is safe).
+
+_WORKER_MODEL: "FeatureClassifierModel | None" = None
+_WORKER_STRATEGY_BLOB: bytes | None = None
+_WORKER_STRATEGY: "Strategy | None" = None
+
+
+def _worker_init(model_blob: bytes) -> None:
+    global _WORKER_MODEL
+    _WORKER_MODEL = decode_payload(model_blob)
+
+
+def _worker_strategy(strategy_blob: bytes) -> "Strategy":
+    global _WORKER_STRATEGY_BLOB, _WORKER_STRATEGY
+    if strategy_blob != _WORKER_STRATEGY_BLOB:
+        _WORKER_STRATEGY = decode_payload(strategy_blob)
+        _WORKER_STRATEGY_BLOB = strategy_blob
+    return _WORKER_STRATEGY
+
+
+def _run_client_task(
+    task: tuple[bytes, StateDict, Client, int, int],
+) -> ClientUpdate:
+    strategy_blob, global_state, client, round_index, seed = task
+    if _WORKER_MODEL is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker initialized without a model template")
+    strategy = _worker_strategy(strategy_blob)
+    _WORKER_MODEL.load_state_dict(global_state)
+    return _timed_local_update(
+        strategy, client, _WORKER_MODEL, round_index, seed
+    )
+
+
+def _default_workers() -> int:
+    return max(2, min(4, os.cpu_count() or 2))
+
+
+def _default_start_method() -> str:
+    # fork is cheapest and inherits the import state, but it is only
+    # reliably safe on Linux (macOS system frameworks may abort or deadlock
+    # in forked children — the reason CPython switched that platform's
+    # default to spawn).  Everywhere else, trust the platform default.
+    if sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return multiprocessing.get_start_method()
+
+
+class ParallelExecutor(Executor):
+    """Fan sampled clients out to a :class:`ProcessPoolExecutor`.
+
+    Parameters
+    ----------
+    num_workers:
+        Pool size.  Defaults to ``min(4, cpu_count)`` (at least 2 — a single
+        worker is strictly worse than :class:`SerialExecutor`).
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` when the
+        platform offers it.
+
+    The pool is created lazily on the first round and rebuilt only when a
+    different model *architecture* shows up, so one executor (and its warm
+    pool) serves consecutive runs — e.g. every split of a LODO sweep —
+    without re-forking; weights are irrelevant to the template because every
+    task loads the broadcast state.
+    Results come back in sampling order and each participant's ``scratch``
+    replaces the server-side copy, so caches built inside a worker (e.g.
+    PARDON's style-transferred images) survive across rounds exactly as they
+    do serially.
+
+    Known trade-off: each task ships its client (dataset included) to the
+    worker and the full scratch snapshot back, mirroring a real broadcast
+    but paying serialization proportional to data size every round.  For
+    dataset-scale scratch caches that overhead can eat into the speedup;
+    making clients pool-resident (ship once per worker, send scratch deltas)
+    is the next optimization if profiles warrant it.
+    """
+
+    def __init__(
+        self, num_workers: int | None = None, start_method: str | None = None
+    ) -> None:
+        if num_workers is not None and num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = num_workers or _default_workers()
+        self.start_method = start_method or _default_start_method()
+        self._pool: _ProcessPool | None = None
+        self._pool_architecture: tuple | None = None
+
+    @staticmethod
+    def _architecture_of(model: "FeatureClassifierModel") -> tuple:
+        """Structural signature deciding whether the worker template still
+        fits.
+
+        Covers everything ``load_state_dict`` validates — parameter *and*
+        buffer names/shapes — plus each module's class and public scalar
+        hyperparameters (stride, padding, ...), which change forward
+        semantics without changing any tensor shape.  ``training`` and
+        underscore-prefixed attributes are excluded: they vary at runtime
+        and would only force needless pool rebuilds.
+        """
+        structure = tuple(
+            (
+                type(module).__name__,
+                tuple(
+                    sorted(
+                        (key, value)
+                        for key, value in vars(module).items()
+                        if key != "training"
+                        and not key.startswith("_")
+                        and isinstance(value, (bool, int, float, str, tuple))
+                    )
+                ),
+            )
+            for module in model.modules()
+        )
+        return (
+            structure,
+            tuple((name, param.shape) for name, param in model.named_parameters()),
+            tuple((name, buf.shape) for name, buf in model.named_buffers()),
+        )
+
+    def _ensure_pool(self, model: "FeatureClassifierModel") -> _ProcessPool:
+        architecture = self._architecture_of(model)
+        if self._pool is not None and self._pool_architecture != architecture:
+            self.close()
+        if self._pool is None:
+            self._pool = _ProcessPool(
+                max_workers=self.num_workers,
+                mp_context=multiprocessing.get_context(self.start_method),
+                initializer=_worker_init,
+                initargs=(encode_payload(model),),
+            )
+            self._pool_architecture = architecture
+        return self._pool
+
+    def run_round(
+        self,
+        strategy: "Strategy",
+        model: "FeatureClassifierModel",
+        global_state: StateDict,
+        participants: Sequence[Client],
+        round_index: int,
+        seeds: Sequence[int],
+    ) -> list[ClientUpdate]:
+        pool = self._ensure_pool(model)
+        strategy_blob = encode_payload(strategy)
+        tasks = [
+            (strategy_blob, global_state, client, round_index, seed)
+            for client, seed in zip(participants, seeds)
+        ]
+        updates = list(pool.map(_run_client_task, tasks))
+        # Persist worker-side caches on the server's client objects so the
+        # next round (possibly on a different worker) sees them.  The upload
+        # carries the client's *whole* scratch dict, so replacing (not
+        # merging) keeps worker-side deletions engine-invariant too.
+        for client, update in zip(participants, updates):
+            if client.scratch is not update.scratch:
+                client.scratch.clear()
+                client.scratch.update(update.scratch)
+        return updates
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_architecture = None
+
+
+def make_executor(kind: str = "serial", workers: int | None = None) -> Executor:
+    """Build an engine from the CLI/bench knobs (``--executor``/``--workers``).
+
+    A ``workers`` count with ``kind="serial"`` is rejected rather than
+    silently ignored — it almost always means the caller wanted parallel
+    execution and forgot to say so.
+    """
+    if kind == "serial":
+        if workers is not None:
+            raise ValueError(
+                "workers only applies to the parallel executor; "
+                "pass kind='parallel' or drop the workers count"
+            )
+        return SerialExecutor()
+    if kind == "parallel":
+        return ParallelExecutor(num_workers=workers)
+    raise ValueError(
+        f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}"
+    )

@@ -26,13 +26,23 @@ class UniformClientSampler:
     """
 
     def __init__(self, clients_per_round: int | float) -> None:
-        if isinstance(clients_per_round, float) and not clients_per_round.is_integer():
+        # Single source of truth for the participation convention: a float
+        # (numpy included) is a fraction in (0, 1], an int is a count >= 1.
+        # FederatedConfig delegates its validation here.
+        if isinstance(clients_per_round, bool) or not isinstance(
+            clients_per_round, (int, float, np.integer, np.floating)
+        ):
+            raise TypeError(
+                f"clients_per_round must be an int count or a float "
+                f"fraction, got {clients_per_round!r}"
+            )
+        if isinstance(clients_per_round, (float, np.floating)):
             if not 0.0 < clients_per_round <= 1.0:
                 raise ValueError(
                     f"fractional participation must be in (0, 1], "
                     f"got {clients_per_round}"
                 )
-        elif int(clients_per_round) < 1:
+        elif clients_per_round < 1:
             raise ValueError(
                 f"clients_per_round must be >= 1, got {clients_per_round}"
             )
@@ -40,9 +50,7 @@ class UniformClientSampler:
 
     def round_size(self, num_clients: int) -> int:
         """Resolve the per-round participant count for ``num_clients``."""
-        if isinstance(self.clients_per_round, float) and (
-            not self.clients_per_round.is_integer()
-        ):
+        if isinstance(self.clients_per_round, (float, np.floating)):
             k = int(round(self.clients_per_round * num_clients))
         else:
             k = int(self.clients_per_round)

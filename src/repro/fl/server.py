@@ -1,15 +1,19 @@
 """The federated simulation loop.
 
 :class:`FederatedServer` wires together a strategy, a client population, a
-sampler, and evaluation sets, and runs the round loop the paper describes:
-sample k of N clients, broadcast the global weights, run the strategy's
-local update on each participant, aggregate, and periodically evaluate on
-the held-out (unseen-domain) sets.  All timing flows through
-:class:`repro.fl.timing.PhaseTimer` so Fig. 4 can compare methods fairly.
+sampler, an execution engine, and evaluation sets, and runs the round loop
+the paper describes: sample k of N clients, broadcast the global weights,
+run the strategy's local update on each participant (serially or fanned out
+to worker processes — see :mod:`repro.fl.executor`), aggregate in
+deterministic client order, and periodically evaluate on the held-out
+(unseen-domain) sets.  All timing flows through
+:class:`repro.fl.timing.PhaseTimer` so Fig. 4 can compare methods fairly
+regardless of the engine.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -17,6 +21,7 @@ import numpy as np
 from repro.data.synthetic import LabeledDataset
 from repro.fl.evaluation import evaluate_accuracy
 from repro.fl.client import Client
+from repro.fl.executor import Executor, SerialExecutor
 from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.sampling import UniformClientSampler
 from repro.fl.strategy import Strategy
@@ -32,7 +37,12 @@ _LOG = get_logger("fl.server")
 
 @dataclass(frozen=True)
 class FederatedConfig:
-    """Round-loop parameters (paper §IV-A defaults, scaled by the benches)."""
+    """Round-loop parameters (paper §IV-A defaults, scaled by the benches).
+
+    ``clients_per_round`` follows the sampler's convention: an ``int`` is an
+    absolute participant count (>= 1), a ``float`` is the participation
+    fraction in (0, 1].
+    """
 
     num_rounds: int = 10
     clients_per_round: int | float = 0.2
@@ -44,6 +54,10 @@ class FederatedConfig:
             raise ValueError(f"num_rounds must be >= 1, got {self.num_rounds}")
         if self.eval_every < 1:
             raise ValueError(f"eval_every must be >= 1, got {self.eval_every}")
+        # Participation validation lives with the sampler (the single source
+        # of truth for the count-vs-fraction convention); constructing one
+        # surfaces bad values at config time with the sampler's own errors.
+        UniformClientSampler(self.clients_per_round)
 
 
 @dataclass
@@ -66,15 +80,22 @@ class FederatedServer:
     clients:
         The full client population (the sampler draws from it each round).
     model:
-        The global model instance; also reused as the local-training
-        workspace (weights are loaded per participant, so state never leaks
-        between clients through the model object).
+        The global model instance.  The serial engine reuses it as the
+        local-training workspace (weights are loaded per participant, so
+        state never leaks between clients through the model object); the
+        parallel engine treats it as the architecture template for the
+        per-worker clones.
     eval_sets:
         Named held-out datasets (e.g. ``{"val": ..., "test": ...}``) that the
         server evaluates the *global* model on — unseen domains in the
         paper's protocols.
     config:
         Round-loop parameters.
+    executor:
+        Client-execution engine; defaults to a fresh
+        :class:`repro.fl.executor.SerialExecutor`.  Engines created by the
+        caller are left open after :meth:`run` (so one pool can serve many
+        runs); the default engine is owned and closed by the server.
     """
 
     def __init__(
@@ -84,6 +105,7 @@ class FederatedServer:
         model: FeatureClassifierModel,
         eval_sets: dict[str, LabeledDataset],
         config: FederatedConfig,
+        executor: Executor | None = None,
     ) -> None:
         if not clients:
             raise ValueError("need at least one client")
@@ -92,11 +114,20 @@ class FederatedServer:
         self.model = model
         self.eval_sets = eval_sets
         self.config = config
+        self._owns_executor = executor is None
+        self.executor = executor or SerialExecutor()
         self.sampler = UniformClientSampler(config.clients_per_round)
         self._seed_tree = SeedTree(config.seed).child("server", strategy.name)
 
     def run(self, verbose: bool = False) -> FederatedResult:
         """Execute the configured number of rounds; return the full trace."""
+        try:
+            return self._run(verbose)
+        finally:
+            if self._owns_executor:
+                self.executor.close()
+
+    def _run(self, verbose: bool) -> FederatedResult:
         timer = PhaseTimer()
         history = RunHistory(strategy_name=self.strategy.name)
         global_state = self.model.state_dict()
@@ -111,26 +142,32 @@ class FederatedServer:
         for round_index in range(self.config.num_rounds):
             round_rng = self._seed_tree.generator("sample", round_index)
             participants = self.sampler.sample(self.clients, round_rng)
-
-            updates = []
-            losses = []
-            for client in participants:
-                self.model.load_state_dict(global_state)
-                client_rng = self._seed_tree.generator(
+            seeds = [
+                self._seed_tree.seed(
                     "client", client.client_id, "round", round_index
                 )
-                with timer.local_train():
-                    state, loss = self.strategy.local_update(
-                        client, self.model, round_index, client_rng
-                    )
-                updates.append((client, state))
-                losses.append(loss)
+                for client in participants
+            ]
+
+            wall_start = time.perf_counter()
+            updates = self.executor.run_round(
+                self.strategy,
+                self.model,
+                global_state,
+                participants,
+                round_index,
+                seeds,
+            )
+            timer.record_local_wall(time.perf_counter() - wall_start)
+            for update in updates:
+                timer.record_local_train(update.train_seconds)
 
             with timer.aggregation():
                 global_state = self.strategy.aggregate(
                     global_state, updates, round_index
                 )
 
+            losses = [update.loss for update in updates]
             record = RoundRecord(
                 round_index=round_index,
                 mean_local_loss=float(np.mean(losses)) if losses else 0.0,
@@ -157,10 +194,17 @@ class FederatedServer:
                 )
 
         self.model.load_state_dict(global_state)
-        final_accuracy = {
-            name: evaluate_accuracy(self.model, dataset)
-            for name, dataset in self.eval_sets.items()
-        }
+        # The last round always evaluates every eval set (is_last above), so
+        # its record *is* the final accuracy — don't pay for the same forward
+        # passes twice.
+        last_record = history.records[-1]
+        if set(last_record.eval_accuracy) == set(self.eval_sets):
+            final_accuracy = dict(last_record.eval_accuracy)
+        else:  # pragma: no cover - defensive, e.g. future cadence changes
+            final_accuracy = {
+                name: evaluate_accuracy(self.model, dataset)
+                for name, dataset in self.eval_sets.items()
+            }
         return FederatedResult(
             history=history,
             final_state=global_state,

@@ -13,6 +13,19 @@ learning:
 
 The simulation core (:mod:`repro.fl.server`) is method-agnostic and only
 calls these hooks, so adding a new FedDG method requires exactly one class.
+
+Execution contract
+------------------
+``local_update`` may run inside a worker process (see
+:mod:`repro.fl.executor`), so it must be *self-contained*: everything it
+reads lives on the strategy or the client at dispatch time, and everything
+it wants the server to see travels back inside the returned
+:class:`repro.fl.executor.ClientUpdate` (state, loss, and method-specific
+``payload`` entries).  Mutating strategy attributes from inside
+``local_update`` is lost under parallel execution and is therefore
+forbidden.  Server-only attributes that should not ship to workers (model
+handles, client registries) are listed in ``_server_only_state`` and
+stripped on pickling.
 """
 
 from __future__ import annotations
@@ -24,6 +37,7 @@ import numpy as np
 from repro.data.loader import Batcher
 from repro.data.synthetic import LabeledDataset
 from repro.fl.client import Client
+from repro.fl.executor import ClientUpdate
 from repro.nn import SGD, CrossEntropyLoss
 from repro.nn.models import FeatureClassifierModel
 from repro.nn.serialize import StateDict, average_states
@@ -91,8 +105,23 @@ class Strategy:
 
     name = "strategy"
 
+    #: Attribute names stripped when the strategy is shipped to a worker
+    #: process — server-side handles that a local update must not depend on.
+    _server_only_state: tuple[str, ...] = ()
+
     def __init__(self, local_config: LocalTrainingConfig | None = None) -> None:
         self.local_config = local_config or LocalTrainingConfig()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        for attr in self._server_only_state:
+            state.pop(attr, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        for attr in self._server_only_state:
+            self.__dict__.setdefault(attr, None)
 
     def prepare(
         self,
@@ -108,29 +137,29 @@ class Strategy:
         model: FeatureClassifierModel,
         round_index: int,
         rng: np.random.Generator,
-    ) -> tuple[StateDict, float]:
+    ) -> ClientUpdate:
         """Train ``model`` (already loaded with the global weights) on the
-        client's data; return ``(new_state, mean_local_loss)``.
+        client's data; return the client's upload.
 
         Default implementation is FedAvg's plain cross-entropy step.
         """
         loss = run_ce_epochs(model, client.dataset, self.local_config, rng)
-        return model.state_dict(), loss
+        return ClientUpdate.from_client(client, model.state_dict(), loss)
 
     def aggregate(
         self,
         global_state: StateDict,
-        updates: list[tuple[Client, StateDict]],
+        updates: list[ClientUpdate],
         round_index: int,
     ) -> StateDict:
-        """Merge client states into the next global state.
+        """Merge client uploads into the next global state.
 
         Default: data-size-weighted FedAvg (paper §III-B Aggregation).
         """
         if not updates:
             return global_state
-        states = [state for _, state in updates]
-        weights = [float(client.num_samples) for client, _ in updates]
+        states = [update.state for update in updates]
+        weights = [float(update.num_samples) for update in updates]
         if sum(weights) <= 0:
             weights = [1.0] * len(states)
         return average_states(states, weights)

@@ -18,13 +18,22 @@ __all__ = ["PhaseTimer", "TimingReport"]
 
 @dataclass
 class TimingReport:
-    """Aggregated wall-clock costs of one federated run."""
+    """Aggregated wall-clock costs of one federated run.
+
+    ``local_train_seconds_total`` sums the *per-worker* compute time of every
+    local update (what Fig. 4 compares — it is execution-engine-invariant),
+    while ``local_train_wall_seconds_total`` is the elapsed server-side time
+    of the local phase.  Serially the two coincide; under a parallel
+    executor the wall clock shrinks while the compute total stays put, and
+    their ratio is the achieved speedup.
+    """
 
     one_time_seconds: float
     local_train_seconds_total: float
     local_train_invocations: int
     aggregation_seconds_total: float
     rounds: int
+    local_train_wall_seconds_total: float = 0.0
 
     @property
     def local_train_seconds_mean(self) -> float:
@@ -40,6 +49,13 @@ class TimingReport:
             return 0.0
         return self.aggregation_seconds_total / self.rounds
 
+    @property
+    def local_train_speedup(self) -> float:
+        """Per-worker compute over elapsed wall clock (1.0 when serial)."""
+        if self.local_train_wall_seconds_total <= 0.0:
+            return 1.0
+        return self.local_train_seconds_total / self.local_train_wall_seconds_total
+
 
 class PhaseTimer:
     """Accumulate durations into the three Fig.-4 buckets."""
@@ -48,6 +64,7 @@ class PhaseTimer:
         self._one_time = 0.0
         self._local_total = 0.0
         self._local_count = 0
+        self._local_wall = 0.0
         self._aggregate_total = 0.0
         self._rounds = 0
 
@@ -61,12 +78,31 @@ class PhaseTimer:
 
     @contextmanager
     def local_train(self) -> Iterator[None]:
+        """Time one in-process local update (compute == wall by definition).
+
+        The round loop itself uses :meth:`record_local_train` /
+        :meth:`record_local_wall` because worker-measured compute and
+        server-side wall clock diverge under parallel execution; this
+        context manager is the convenience API for external callers timing
+        serial code.  Keep the two paths' accounting in sync.
+        """
         start = time.perf_counter()
         try:
             yield
         finally:
-            self._local_total += time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            self._local_total += elapsed
             self._local_count += 1
+            self._local_wall += elapsed
+
+    def record_local_train(self, seconds: float) -> None:
+        """Account one local update measured elsewhere (e.g. in a worker)."""
+        self._local_total += seconds
+        self._local_count += 1
+
+    def record_local_wall(self, seconds: float) -> None:
+        """Account the elapsed server-side time of one round's local phase."""
+        self._local_wall += seconds
 
     @contextmanager
     def aggregation(self) -> Iterator[None]:
@@ -84,4 +120,5 @@ class PhaseTimer:
             local_train_invocations=self._local_count,
             aggregation_seconds_total=self._aggregate_total,
             rounds=self._rounds,
+            local_train_wall_seconds_total=self._local_wall,
         )

@@ -8,7 +8,8 @@ verified primitives.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import pickle
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
@@ -22,6 +23,8 @@ __all__ = [
     "flatten_state",
     "unflatten_state",
     "state_allclose",
+    "encode_payload",
+    "decode_payload",
 ]
 
 StateDict = dict[str, np.ndarray]
@@ -111,3 +114,23 @@ def state_allclose(a: StateDict, b: StateDict, atol: float = 1e-10) -> bool:
     if sorted(a) != sorted(b):
         return False
     return all(np.allclose(a[key], b[key], atol=atol) for key in a)
+
+
+def encode_payload(obj: Any) -> bytes:
+    """Serialize a broadcast payload (model template, strategy state) to bytes.
+
+    The parallel execution engine uses this pair for the payloads it encodes
+    explicitly; it turns "is it serializable?" into an error naming the
+    offending object at dispatch time.  (Task arguments and uploads are
+    pickled by the process pool itself and fail with the pool's own
+    traceback instead.)
+    """
+    try:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:  # surface *what* failed to serialize
+        raise TypeError(f"payload of type {type(obj).__name__} is not serializable: {exc}") from exc
+
+
+def decode_payload(data: bytes) -> Any:
+    """Inverse of :func:`encode_payload`."""
+    return pickle.loads(data)

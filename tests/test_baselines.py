@@ -12,7 +12,13 @@ from repro.baselines import (
     FPLStrategy,
 )
 from repro.data import synthetic_pacs, partition_clients
-from repro.fl import Client, FederatedConfig, FederatedServer, LocalTrainingConfig
+from repro.fl import (
+    Client,
+    ClientUpdate,
+    FederatedConfig,
+    FederatedServer,
+    LocalTrainingConfig,
+)
 from repro.nn import build_mlp_model
 from repro.nn.serialize import state_allclose, state_sub
 
@@ -101,7 +107,12 @@ class TestFedGMA:
             key: value + 0.5 for key, value in global_state.items()
         }
         clients = make_clients(3)
-        updates = [(c, {k: v.copy() for k, v in shared_update.items()}) for c in clients]
+        updates = [
+            ClientUpdate.from_client(
+                c, {k: v.copy() for k, v in shared_update.items()}, 0.0
+            )
+            for c in clients
+        ]
         merged = strategy.aggregate(global_state, updates, 0)
         assert state_allclose(merged, shared_update)
 
@@ -117,7 +128,12 @@ class TestFedGMA:
         # Force equal weights by giving both clients the same dataset.
         clients[1].dataset = clients[0].dataset
         merged = strategy.aggregate(
-            global_state, [(clients[0], up), (clients[1], down)], 0
+            global_state,
+            [
+                ClientUpdate.from_client(clients[0], up, 0.0),
+                ClientUpdate.from_client(clients[1], down, 0.0),
+            ],
+            0,
         )
         delta = state_sub(merged, global_state)
         max_change = max(np.max(np.abs(v)) for v in delta.values())
@@ -163,6 +179,26 @@ class TestFPL:
 
 
 class TestFedDGGA:
+    def test_gap_adjustment_covers_registered_subset(self):
+        """A participant unknown to the prepare()-time registry keeps its
+        weight, but the known participants are still gap-adjusted."""
+        strategy = FedDGGAStrategy(step_size=0.5, momentum=0.0, local_config=FAST)
+        clients = make_clients(3)
+        model = make_model()
+        strategy.prepare(clients[:2], model, np.random.default_rng(0))
+        global_state = model.state_dict()
+        updates = [
+            ClientUpdate.from_client(
+                c, {k: v + 0.1 for k, v in global_state.items()}, 0.0
+            )
+            for c in clients  # includes the unregistered clients[2]
+        ]
+        strategy.aggregate(global_state, updates, 0)
+        assert set(strategy._gap_trace) == {
+            clients[0].client_id,
+            clients[1].client_id,
+        }
+
     def test_weights_shift_toward_high_loss_clients(self):
         strategy = FedDGGAStrategy(step_size=0.5, momentum=0.0, local_config=FAST)
         result = run_strategy(strategy, rounds=3)

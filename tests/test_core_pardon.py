@@ -297,10 +297,11 @@ class TestPardonStrategy:
         model = build_mlp_model(SUITE.image_shape, SUITE.num_classes, rng=rng)
         strategy.prepare(clients, model, rng)
         before = model.state_dict()
-        state, loss = strategy.local_update(clients[0], model, 0, rng)
-        assert loss > 0
+        update = strategy.local_update(clients[0], model, 0, rng)
+        assert update.loss > 0
+        assert update.client_id == clients[0].client_id
         changed = any(
-            not np.allclose(before[key], state[key]) for key in before
+            not np.allclose(before[key], update.state[key]) for key in before
         )
         assert changed
 
@@ -322,8 +323,9 @@ class TestPardonStrategy:
         model = build_mlp_model(SUITE.image_shape, SUITE.num_classes, rng=rng)
         strategy.prepare(clients, model, rng)
         empty = Client(99, clients[0].dataset.subset(np.array([], dtype=int)))
-        state, loss = strategy.local_update(empty, model, 0, rng)
-        assert loss == 0.0
+        update = strategy.local_update(empty, model, 0, rng)
+        assert update.loss == 0.0
+        assert update.num_samples == 0
 
     def test_prepare_with_all_empty_clients_raises(self, rng):
         strategy = PardonStrategy()

@@ -211,6 +211,48 @@ class TestFederatedServer:
         with pytest.raises(ValueError):
             FederatedConfig(eval_every=0)
 
+    def test_config_rejects_non_positive_participation(self):
+        for bad in (0, -1, 0.0, -0.5):
+            with pytest.raises(ValueError):
+                FederatedConfig(clients_per_round=bad)
+
+    def test_config_rejects_fraction_above_one(self):
+        with pytest.raises(ValueError):
+            FederatedConfig(clients_per_round=1.5)
+        with pytest.raises(ValueError):
+            FederatedConfig(clients_per_round=2.0)
+
+    def test_config_rejects_non_numeric_participation(self):
+        with pytest.raises(TypeError):
+            FederatedConfig(clients_per_round="3")
+        with pytest.raises(TypeError):
+            FederatedConfig(clients_per_round=True)
+
+    def test_config_accepts_counts_and_fractions(self):
+        assert FederatedConfig(clients_per_round=1).clients_per_round == 1
+        assert FederatedConfig(clients_per_round=7).clients_per_round == 7
+        assert FederatedConfig(clients_per_round=0.5).clients_per_round == 0.5
+        assert FederatedConfig(clients_per_round=1.0).clients_per_round == 1.0
+
+    def test_config_accepts_numpy_scalars(self):
+        """Counts from numpy sweep grids are first-class citizens."""
+        assert FederatedConfig(clients_per_round=np.int64(5)).clients_per_round == 5
+        config = FederatedConfig(clients_per_round=np.float64(0.25))
+        assert config.clients_per_round == 0.25
+        with pytest.raises(ValueError):
+            FederatedConfig(clients_per_round=np.int64(0))
+        with pytest.raises(ValueError):
+            FederatedConfig(clients_per_round=np.float64(1.5))
+
+    def test_sampler_treats_numpy_float_as_fraction(self):
+        sampler = UniformClientSampler(np.float32(0.5))
+        assert sampler.round_size(8) == 4
+
+    def test_full_participation_fraction_selects_everyone(self):
+        """A float is always a fraction: 1.0 means all clients, not one."""
+        sampler = UniformClientSampler(1.0)
+        assert sampler.round_size(8) == 8
+
     def test_client_dropout_mid_training_is_tolerated(self):
         """A client whose data vanishes between rounds is simply skipped by
         the sampler (failure injection)."""

@@ -1,0 +1,290 @@
+"""Tests for the client-execution engines (`repro.fl.executor`).
+
+The acceptance bar: `SerialExecutor` and a >= 2-worker `ParallelExecutor`
+must produce *identical* `RunHistory` traces and final accuracies — the
+round loop's semantics may not depend on how the fan-out executes.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.baselines import FedAvgStrategy, FedDGGAStrategy, FPLStrategy
+from repro.core import PardonStrategy
+from repro.data import synthetic_pacs, partition_clients
+from repro.fl import (
+    Client,
+    ClientUpdate,
+    FederatedConfig,
+    FederatedServer,
+    LocalTrainingConfig,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.fl.timing import PhaseTimer
+from repro.nn import build_mlp_model
+
+SUITE = synthetic_pacs(seed=0, samples_per_class=8, image_size=8)
+FAST = LocalTrainingConfig(batch_size=8)
+
+
+def make_clients(n_clients=8, seed=0):
+    partition = partition_clients(
+        SUITE, [0, 1], n_clients, 0.2, np.random.default_rng(seed)
+    )
+    return [Client(i, d) for i, d in enumerate(partition.client_datasets)]
+
+
+def run_once(strategy, executor, rounds=3, clients_per_round=4):
+    server = FederatedServer(
+        strategy=strategy,
+        clients=make_clients(),
+        model=build_mlp_model(
+            SUITE.image_shape, SUITE.num_classes, rng=np.random.default_rng(0)
+        ),
+        eval_sets={"test": SUITE.datasets[2]},
+        config=FederatedConfig(
+            num_rounds=rounds, clients_per_round=clients_per_round, seed=0
+        ),
+        executor=executor,
+    )
+    return server.run()
+
+
+def assert_identical_runs(serial, parallel):
+    assert len(serial.history.records) == len(parallel.history.records)
+    for a, b in zip(serial.history.records, parallel.history.records):
+        assert a.round_index == b.round_index
+        assert a.participants == b.participants
+        assert a.mean_local_loss == b.mean_local_loss
+        assert a.eval_accuracy == b.eval_accuracy
+    assert serial.final_accuracy == parallel.final_accuracy
+    for key in serial.final_state:
+        np.testing.assert_array_equal(
+            serial.final_state[key], parallel.final_state[key]
+        )
+
+
+class TestClientUpdate:
+    def test_from_client_captures_identity(self):
+        client = make_clients()[0]
+        update = ClientUpdate.from_client(client, {"w": np.ones(2)}, 0.5)
+        assert update.client_id == client.client_id
+        assert update.num_samples == client.num_samples
+        assert update.loss == 0.5
+        assert update.payload == {}
+
+    def test_is_picklable_with_payload(self):
+        client = make_clients()[0]
+        update = ClientUpdate.from_client(
+            client, {"w": np.ones(2)}, 0.5, payload={"prototypes": {0: np.zeros(3)}}
+        )
+        clone = pickle.loads(pickle.dumps(update))
+        assert clone.client_id == update.client_id
+        np.testing.assert_array_equal(
+            clone.payload["prototypes"][0], np.zeros(3)
+        )
+
+
+class TestMakeExecutor:
+    def test_kinds(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        parallel = make_executor("parallel", workers=2)
+        assert isinstance(parallel, ParallelExecutor)
+        assert parallel.num_workers == 2
+        parallel.close()
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            make_executor("quantum")
+
+    def test_serial_with_workers_raises(self):
+        """A worker count with the serial engine is a forgotten 'parallel'."""
+        with pytest.raises(ValueError):
+            make_executor("serial", workers=8)
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(num_workers=0)
+
+
+class TestDeterminism:
+    """Serial and parallel execution must be indistinguishable in the trace."""
+
+    def test_fedavg_serial_equals_parallel(self):
+        serial = run_once(FedAvgStrategy(FAST), SerialExecutor())
+        with ParallelExecutor(num_workers=2) as executor:
+            parallel = run_once(FedAvgStrategy(FAST), executor)
+        assert_identical_runs(serial, parallel)
+
+    def test_pardon_serial_equals_parallel(self):
+        serial = run_once(PardonStrategy(local_config=FAST), SerialExecutor())
+        with ParallelExecutor(num_workers=2) as executor:
+            parallel = run_once(PardonStrategy(local_config=FAST), executor)
+        assert_identical_runs(serial, parallel)
+
+    def test_fpl_payload_survives_process_hop(self):
+        """FPL's prototypes travel via ClientUpdate.payload, so the global
+        prototypes must come out identical either way."""
+        serial_strategy = FPLStrategy(local_config=FAST)
+        serial = run_once(serial_strategy, SerialExecutor())
+        parallel_strategy = FPLStrategy(local_config=FAST)
+        with ParallelExecutor(num_workers=2) as executor:
+            parallel = run_once(parallel_strategy, executor)
+        assert_identical_runs(serial, parallel)
+        assert set(serial_strategy.global_prototypes) == set(
+            parallel_strategy.global_prototypes
+        )
+        for label, proto in serial_strategy.global_prototypes.items():
+            np.testing.assert_array_equal(
+                proto, parallel_strategy.global_prototypes[label]
+            )
+
+
+class ScratchCyclingStrategy(FedAvgStrategy):
+    """Adds a scratch key on even rounds and deletes it on odd rounds —
+    exercises both directions of scratch persistence."""
+
+    name = "scratch_cycling"
+
+    def local_update(self, client, model, round_index, rng):
+        if round_index % 2 == 0:
+            client.scratch["marker"] = round_index
+        else:
+            client.scratch.pop("marker", None)
+        return super().local_update(client, model, round_index, rng)
+
+
+class TestParallelMechanics:
+    def test_scratch_deletions_propagate(self):
+        """Worker-side scratch removals must reach the server-side client,
+        same as additions (replace semantics, not merge)."""
+        clients = make_clients()
+        with ParallelExecutor(num_workers=2) as executor:
+            server = FederatedServer(
+                strategy=ScratchCyclingStrategy(FAST),
+                clients=clients,
+                model=build_mlp_model(
+                    SUITE.image_shape,
+                    SUITE.num_classes,
+                    rng=np.random.default_rng(0),
+                ),
+                eval_sets={},
+                config=FederatedConfig(num_rounds=2, clients_per_round=8, seed=0),
+                executor=executor,
+            )
+            result = server.run()
+        # Round 1 (odd) ran last and deleted the marker everywhere.
+        participated = set(result.history.records[-1].participants)
+        for client in clients:
+            if client.client_id in participated:
+                assert "marker" not in client.scratch
+
+    def test_scratch_merged_back_to_server_clients(self):
+        """PARDON's style-transfer cache is built inside a worker but must
+        land on the server-side client for reuse next round."""
+        clients = make_clients()
+        strategy = PardonStrategy(local_config=FAST)
+        with ParallelExecutor(num_workers=2) as executor:
+            server = FederatedServer(
+                strategy=strategy,
+                clients=clients,
+                model=build_mlp_model(
+                    SUITE.image_shape,
+                    SUITE.num_classes,
+                    rng=np.random.default_rng(0),
+                ),
+                eval_sets={},
+                config=FederatedConfig(num_rounds=1, clients_per_round=8, seed=0),
+                executor=executor,
+            )
+            result = server.run()
+        participated = set(result.history.records[0].participants)
+        for client in clients:
+            if client.client_id in participated and client.num_samples:
+                assert "pardon_transferred" in client.scratch
+
+    def test_server_only_state_not_shipped_to_workers(self):
+        strategy = FedDGGAStrategy(local_config=FAST)
+        clients = make_clients(4)
+        model = build_mlp_model(
+            SUITE.image_shape, SUITE.num_classes, rng=np.random.default_rng(0)
+        )
+        strategy.prepare(clients, model, np.random.default_rng(1))
+        clone = pickle.loads(pickle.dumps(strategy))
+        assert clone._model_ref is None
+        assert clone._clients_by_id is None
+        # ...and the wire blob stays small: no datasets, no model.
+        assert len(pickle.dumps(strategy)) < len(pickle.dumps(model))
+
+    def test_pool_reuse_across_runs(self):
+        executor = ParallelExecutor(num_workers=2)
+        try:
+            first = run_once(FedAvgStrategy(FAST), executor, rounds=1)
+            second = run_once(FedAvgStrategy(FAST), executor, rounds=1)
+            assert_identical_runs(first, second)
+        finally:
+            executor.close()
+
+    def test_close_is_idempotent(self):
+        executor = ParallelExecutor(num_workers=2)
+        executor.close()
+        executor.close()
+
+    def test_architecture_signature_tracks_structure(self):
+        same_a = build_mlp_model(
+            SUITE.image_shape, SUITE.num_classes, rng=np.random.default_rng(0)
+        )
+        same_b = build_mlp_model(
+            SUITE.image_shape, SUITE.num_classes, rng=np.random.default_rng(7)
+        )
+        wider = build_mlp_model(
+            SUITE.image_shape,
+            SUITE.num_classes,
+            rng=np.random.default_rng(0),
+            hidden_dim=128,
+        )
+        sig = ParallelExecutor._architecture_of
+        assert sig(same_a) == sig(same_b)  # weights don't matter
+        assert sig(same_a) != sig(wider)
+        # Mode flips must not force a pool rebuild.
+        assert sig(same_a.eval()) == sig(same_b)
+
+
+class TestTimingAccounting:
+    def test_recorded_updates_count_as_invocations(self):
+        timer = PhaseTimer()
+        timer.record_local_train(0.25)
+        timer.record_local_train(0.75)
+        timer.record_local_wall(0.5)
+        report = timer.report()
+        assert report.local_train_invocations == 2
+        assert report.local_train_seconds_total == 1.0
+        assert report.local_train_wall_seconds_total == 0.5
+        assert report.local_train_speedup == 2.0
+
+    def test_context_manager_counts_toward_wall(self):
+        timer = PhaseTimer()
+        with timer.local_train():
+            pass
+        report = timer.report()
+        assert report.local_train_wall_seconds_total == report.local_train_seconds_total
+
+    def test_speedup_defaults_to_one(self):
+        assert PhaseTimer().report().local_train_speedup == 1.0
+
+    def test_parallel_run_reports_worker_seconds(self):
+        with ParallelExecutor(num_workers=2) as executor:
+            result = run_once(FedAvgStrategy(FAST), executor, rounds=2)
+        timing = result.timing
+        assert timing.local_train_invocations == 8
+        assert timing.local_train_seconds_total > 0.0
+        assert timing.local_train_wall_seconds_total > 0.0
+
+
+class TestFinalEvaluationReuse:
+    def test_final_accuracy_is_last_round_record(self):
+        result = run_once(FedAvgStrategy(FAST), SerialExecutor(), rounds=2)
+        assert result.final_accuracy == result.history.records[-1].eval_accuracy
