@@ -1,28 +1,45 @@
-"""Executor scaling — wall-clock of one federated run vs. worker count.
+"""Executor scaling — wall-clock and wire traffic vs. worker count.
 
 Complements Fig. 5 (accuracy vs. client count) with the systems half of the
 scalability story: the same round loop, same seeds, and same trace, executed
 serially and on process pools of 2 and 4 workers.  Reported per row: the
 summed per-client compute time, the elapsed wall clock of the local phase,
-and their ratio (the achieved speedup).  Shape to check: wall clock drops as
-workers increase, bounded by the machine's core count.  The compute column
-is per-worker wall time, so it inflates when workers outnumber free cores
+their ratio (the achieved speedup), and the measured bytes the engine moved
+across the process boundary.  Shape to check: wall clock drops as workers
+increase, bounded by the machine's core count.  The compute column is
+per-worker wall time, so it inflates when workers outnumber free cores
 (contention) — the speedup column is the honest headline number.
+
+The second table isolates the wire protocol on the PARDON strategy (the
+dataset-scale scratch cache is the worst case): per-round task payload under
+the pool-resident delta protocol vs. what PR 1's ship-everything-per-task
+protocol would have moved.  Shape to check: task bytes shrink by orders of
+magnitude (the dataset ships once at registration), and the upload collapses
+after round 0 because the style-transfer cache travels as a delta exactly
+once.
+
+Run directly for the full table, or with ``--smoke`` for the CI-scale
+variant (fast data scale, workers {1, 2}).
 """
 
 from __future__ import annotations
+
+import pickle
+import sys
 
 import numpy as np
 
 from common import bench_rounds, emit, samples_per_class
 
 from repro.baselines import FedAvgStrategy
+from repro.core import PardonStrategy
 from repro.data import synthetic_pacs, partition_clients
 from repro.fl import (
     Client,
     FederatedConfig,
     FederatedServer,
     LocalTrainingConfig,
+    ParallelExecutor,
     make_executor,
 )
 from repro.nn.models import build_cnn_model
@@ -33,11 +50,15 @@ NUM_CLIENTS = 16
 WORKER_GRID = [1, 2, 4]
 
 
-def _run_with_workers(suite, rounds: int, workers: int):
+def _make_clients(suite):
     partition = partition_clients(
         suite, [0, 1], NUM_CLIENTS, 0.1, np.random.default_rng(0)
     )
-    clients = [Client(i, d) for i, d in enumerate(partition.client_datasets)]
+    return [Client(i, d) for i, d in enumerate(partition.client_datasets)]
+
+
+def _run_with_workers(suite, rounds: int, workers: int, strategy=None):
+    clients = _make_clients(suite)
     model = build_cnn_model(
         suite.image_shape, suite.num_classes, rng=np.random.default_rng(0)
     )
@@ -46,7 +67,7 @@ def _run_with_workers(suite, rounds: int, workers: int):
         workers=None if workers == 1 else workers,
     )
     server = FederatedServer(
-        strategy=FedAvgStrategy(LocalTrainingConfig(batch_size=32)),
+        strategy=strategy or FedAvgStrategy(LocalTrainingConfig(batch_size=32)),
         clients=clients,
         model=model,
         eval_sets={"test": suite.datasets[3]},
@@ -56,7 +77,7 @@ def _run_with_workers(suite, rounds: int, workers: int):
         executor=executor,
     )
     try:
-        return server.run()
+        return server.run(), executor, clients
     finally:
         executor.close()
 
@@ -74,12 +95,12 @@ def _trace_of(result):
     )
 
 
-def _run(suite) -> str:
+def _run(suite, worker_grid) -> str:
     rounds = bench_rounds(4)
     rows = []
     baseline_trace = None
-    for workers in WORKER_GRID:
-        result = _run_with_workers(suite, rounds, workers)
+    for workers in worker_grid:
+        result, _, _ = _run_with_workers(suite, rounds, workers)
         timing = result.timing
         trace = _trace_of(result)
         if baseline_trace is None:
@@ -90,6 +111,8 @@ def _run(suite) -> str:
                 f"{timing.local_train_seconds_total:.2f}",
                 f"{timing.local_train_wall_seconds_total:.2f}",
                 f"{timing.local_train_speedup:.2f}",
+                f"{timing.bytes_up / 1024:.0f}",
+                f"{timing.bytes_down / 1024:.0f}",
                 "yes" if trace == baseline_trace else "NO",
             ]
         )
@@ -99,6 +122,8 @@ def _run(suite) -> str:
             "compute (s, all clients)",
             "local wall clock (s)",
             "speedup",
+            "wire up (KiB)",
+            "wire down (KiB)",
             "trace == serial",
         ],
         rows,
@@ -109,12 +134,104 @@ def _run(suite) -> str:
     )
 
 
+def _legacy_round_bytes(result, clients) -> tuple[float, float]:
+    """What PR 1's protocol would move per round: every task tuple re-ships
+    ``(strategy_blob, global_state, client)`` down and the full scratch dict
+    plus state back up.  Measured over the run's *actual* participant
+    sequence, on the post-run clients whose scratch holds the warm PARDON
+    cache — exactly the payload the old protocol paid every round."""
+    from repro.nn.serialize import encode_payload
+
+    strategy_blob = encode_payload(PardonStrategy())
+    state = dict(result.final_state)
+    by_id = {client.client_id: client for client in clients}
+    down = up = 0
+    for record in result.history.records:
+        for client_id in record.participants:
+            client = by_id[client_id]
+            down += len(
+                pickle.dumps(
+                    (strategy_blob, state, client, record.round_index, 0),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            )
+            up += len(
+                pickle.dumps(
+                    (state, dict(client.scratch)),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            )
+    rounds = len(result.history.records)
+    return down / rounds, up / rounds
+
+
+def _run_wire(suite) -> str:
+    rounds = max(3, bench_rounds(4))
+    result, executor, clients = _run_with_workers(
+        suite, rounds, 2, strategy=PardonStrategy()
+    )
+    wire = executor.wire_stats()
+    legacy_down, legacy_up = _legacy_round_bytes(result, clients)
+    resident_task = wire.task_bytes / rounds
+    resident_down = (wire.broadcast_bytes + wire.task_bytes) / rounds
+    rows = [
+        [
+            "PR 1 (ship client per task)",
+            f"{legacy_down / 1024:.0f}",
+            f"{legacy_down / 1024:.0f}",
+            f"{legacy_up / 1024:.0f}",
+            "0",
+        ],
+        [
+            "pool-resident + deltas",
+            f"{resident_task / 1024:.2f}",
+            f"{resident_down / 1024:.0f}",
+            f"{wire.upload_bytes / rounds / 1024:.0f}",
+            f"{wire.registration_bytes / 1024:.0f}",
+        ],
+        [
+            "reduction",
+            f"x{legacy_down / max(resident_task, 1):.0f}",
+            f"x{legacy_down / max(resident_down, 1):.1f}",
+            f"x{legacy_up / max(wire.upload_bytes / rounds, 1):.1f}",
+            "-",
+        ],
+    ]
+    return format_table(
+        [
+            "Wire protocol (PARDON)",
+            "task KiB/round",
+            "down KiB/round",
+            "up KiB/round",
+            "one-time KiB",
+        ],
+        rows,
+        title=(
+            f"Per-round task payload — resident+delta protocol vs. PR 1 "
+            f"({rounds} rounds, {CLIENTS_PER_ROUND}/{NUM_CLIENTS} clients, "
+            f"2 workers)"
+        ),
+    )
+
+
+def _tables(suite, worker_grid) -> str:
+    return _run(suite, worker_grid) + "\n\n" + _run_wire(suite)
+
+
 def test_executor_scaling(benchmark):
     suite = synthetic_pacs(seed=0, samples_per_class=samples_per_class(40))
-    table = benchmark.pedantic(lambda: _run(suite), rounds=1, iterations=1)
+    table = benchmark.pedantic(
+        lambda: _tables(suite, WORKER_GRID), rounds=1, iterations=1
+    )
     emit("executor_scaling", table)
 
 
 if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv[1:]
+    if smoke:
+        import os
+
+        os.environ.setdefault("REPRO_BENCH_SCALE", "fast")
+    grid = [1, 2] if smoke else WORKER_GRID
     suite = synthetic_pacs(seed=0, samples_per_class=samples_per_class(40))
-    emit("executor_scaling", _run(suite))
+    emit("executor_scaling", _tables(suite, grid))

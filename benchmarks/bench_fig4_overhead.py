@@ -10,10 +10,16 @@ FedAvg's, and total overhead is comparable to the baselines.
 
 from __future__ import annotations
 
+import time
+
+import numpy as np
+
 from common import bench_rounds, emit, method_factories, METHOD_ORDER, samples_per_class
 
 from repro.data import synthetic_pacs
 from repro.eval import ExperimentSetting, run_split_experiment
+from repro.nn import build_cnn_model
+from repro.nn.serialize import average_states
 from repro.utils.tables import format_table
 
 SPLIT = {"train": [0, 1], "val": [2], "test": [3]}
@@ -61,7 +67,67 @@ def _run(suite) -> str:
     )
 
 
+def _naive_average(states, weights):
+    """The pre-optimization implementation: ``sum()`` over one fresh
+    ``w * state[key]`` temporary per (key, client).  Kept here as the
+    micro-benchmark baseline for :func:`average_states`."""
+    normalized = np.asarray(weights, dtype=np.float64)
+    normalized = normalized / normalized.sum()
+    return {
+        key: sum(w * state[key] for w, state in zip(normalized, states))
+        for key in states[0]
+    }
+
+
+def _aggregation_microbench(num_states: int = 16, repeats: int = 30) -> str:
+    """Per-round aggregation hot path: in-place accumulation vs. per-key
+    temporaries, on one CNN-model state dict per client."""
+    rng = np.random.default_rng(0)
+    model = build_cnn_model((3, 16, 16), num_classes=7, rng=rng)
+    base = model.state_dict()
+    states = [
+        {key: value + rng.normal(scale=0.01, size=value.shape) for key, value in base.items()}
+        for _ in range(num_states)
+    ]
+    weights = [float(i + 1) for i in range(num_states)]
+
+    def timed(fn) -> float:
+        fn(states, weights)  # warm-up
+        start = time.perf_counter()
+        for _ in range(repeats):
+            result = fn(states, weights)
+        return (time.perf_counter() - start) / repeats, result
+
+    naive_seconds, naive_result = timed(_naive_average)
+    inplace_seconds, inplace_result = timed(average_states)
+    identical = all(
+        np.array_equal(naive_result[key], inplace_result[key])
+        for key in naive_result
+    )
+    rows = [
+        ["sum() over temporaries", f"{naive_seconds * 1000:.2f}", "-", "-"],
+        [
+            "in-place (np.multiply/add, out=)",
+            f"{inplace_seconds * 1000:.2f}",
+            f"{naive_seconds / inplace_seconds:.2f}x",
+            "yes" if identical else "NO",
+        ],
+    ]
+    return format_table(
+        ["average_states", "ms/aggregation", "speedup", "bit-identical"],
+        rows,
+        title=(
+            f"Aggregation micro-benchmark — {num_states} client states, "
+            "CNN model"
+        ),
+    )
+
+
 def test_fig4_overhead(benchmark):
     suite = synthetic_pacs(seed=0, samples_per_class=samples_per_class(40))
-    table = benchmark.pedantic(lambda: _run(suite), rounds=1, iterations=1)
+    table = benchmark.pedantic(
+        lambda: _run(suite) + "\n\n" + _aggregation_microbench(),
+        rounds=1,
+        iterations=1,
+    )
     emit("fig4_overhead", table)

@@ -130,6 +130,40 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--workers", type=_positive_int, default=None,
         help="worker-process count for --executor parallel",
     )
+    parser.add_argument(
+        "--timing", action="store_true",
+        help="also print the phase-timing and measured-wire-traffic report",
+    )
+
+
+_TIMING_HEADER = [
+    "run",
+    "local train (s)",
+    "local wall (s)",
+    "speedup",
+    "aggregation (s)",
+    "one-time (s)",
+    "wire up (KiB)",
+    "wire down (KiB)",
+]
+
+
+def _timing_row(name: str, timing) -> list[str]:
+    """One report row; wire columns stay 0.0 for the in-process engine."""
+    return [
+        name,
+        f"{timing.local_train_seconds_total:.2f}",
+        f"{timing.local_train_wall_seconds_total:.2f}",
+        f"{timing.local_train_speedup:.2f}",
+        f"{timing.aggregation_seconds_total:.2f}",
+        f"{timing.one_time_seconds:.2f}",
+        f"{timing.bytes_up / 1024:.1f}",
+        f"{timing.bytes_down / 1024:.1f}",
+    ]
+
+
+def _print_timing(rows: list[list[str]]) -> None:
+    print(format_table(_TIMING_HEADER, rows, title="Timing & measured wire traffic"))
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -154,6 +188,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             ]],
         )
     )
+    if args.timing:
+        _print_timing([_timing_row(args.method, outcome.result.timing)])
     return 0
 
 
@@ -172,6 +208,13 @@ def _cmd_lodo(args: argparse.Namespace) -> int:
             title=f"LODO on {args.suite}",
         )
     )
+    if args.timing:
+        _print_timing(
+            [
+                _timing_row(f"holdout={domain}", outcomes[domain].result.timing)
+                for domain in suite.domain_names
+            ]
+        )
     return 0
 
 

@@ -5,14 +5,19 @@ aggregation, evaluation) with per-phase wall-clock instrumentation.  FedDG
 methods plug in through :class:`repro.fl.Strategy`.
 """
 
-from repro.fl.client import Client
-from repro.fl.communication import CommunicationModel, method_communication
+from repro.fl.client import Client, ScratchDelta, ScratchSpace
+from repro.fl.communication import (
+    CommunicationModel,
+    MeasuredCommunication,
+    method_communication,
+)
 from repro.fl.evaluation import evaluate_accuracy, evaluate_loss
 from repro.fl.executor import (
     ClientUpdate,
     Executor,
     ParallelExecutor,
     SerialExecutor,
+    WireStats,
     make_executor,
 )
 from repro.fl.history import RoundRecord, RunHistory
@@ -26,6 +31,10 @@ __all__ = [
     "Client",
     "ClientUpdate",
     "CommunicationModel",
+    "MeasuredCommunication",
+    "ScratchDelta",
+    "ScratchSpace",
+    "WireStats",
     "method_communication",
     "evaluate_accuracy",
     "evaluate_loss",

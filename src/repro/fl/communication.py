@@ -12,9 +12,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.fl.timing import TimingReport
 from repro.nn.models import FeatureClassifierModel
 
-__all__ = ["CommunicationModel", "method_communication"]
+__all__ = [
+    "CommunicationModel",
+    "MeasuredCommunication",
+    "method_communication",
+]
 
 _BYTES_PER_SCALAR = 8  # float64 throughout the library
 
@@ -38,6 +43,49 @@ class CommunicationModel:
         per_round = (self.per_round_up + self.per_round_down) * participants_per_round
         one_time = (self.one_time_up + self.one_time_down) * num_clients
         return per_round * rounds + one_time
+
+
+@dataclass(frozen=True)
+class MeasuredCommunication:
+    """Traffic an execution engine *actually* moved, normalized like
+    :class:`CommunicationModel` (per participating client per round) so the
+    overhead bench can print measured next to analytic.
+
+    Measured bytes include what the analytic model abstracts away — pickle
+    framing, the strategy blob in the broadcast, scratch deltas — and the
+    parallel engine broadcasts once per *worker*, not per client, so the
+    per-client download can come out *below* the analytic weight cost.
+    """
+
+    bytes_up: int
+    bytes_down: int
+    rounds: int
+    client_updates: int
+
+    @classmethod
+    def from_report(cls, report: TimingReport) -> "MeasuredCommunication":
+        """Normalize one run's :class:`TimingReport` wire counters."""
+        return cls(
+            bytes_up=report.bytes_up,
+            bytes_down=report.bytes_down,
+            rounds=report.rounds,
+            client_updates=report.local_train_invocations,
+        )
+
+    @property
+    def per_update_up(self) -> float:
+        """Upload bytes per (client, round) local update."""
+        if self.client_updates == 0:
+            return 0.0
+        return self.bytes_up / self.client_updates
+
+    @property
+    def per_update_down(self) -> float:
+        """Download bytes per (client, round) local update — registration
+        and broadcast amortized over every update of the run."""
+        if self.client_updates == 0:
+            return 0.0
+        return self.bytes_down / self.client_updates
 
 
 def method_communication(

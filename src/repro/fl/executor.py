@@ -7,32 +7,57 @@ local-training fan-out executes.  Two engines share one contract:
 * :class:`SerialExecutor` — trains every participant in order on the
   server's workspace model.  Bit-identical to the historical behaviour and
   the default everywhere.
-* :class:`ParallelExecutor` — fans participants out to a process pool.
-  Each worker holds a model clone (shipped once at pool start-up through
-  :func:`repro.nn.serialize.encode_payload`) and rebuilds the broadcast
-  weights per task, so wall-clock scales with workers instead of with the
-  participant count (paper §IV-B-3's scalability axis).
+* :class:`ParallelExecutor` — fans participants out to a pool of worker
+  processes with *pool-resident clients*: each client has a sticky home
+  worker (``client_id % num_workers``), its dataset ships there once per
+  pool lifetime, and afterwards only deltas travel (see the wire protocol
+  below).  Wall-clock scales with workers instead of with the participant
+  count (paper §IV-B-3's scalability axis).
 
 Both return the same :class:`ClientUpdate` records in sampling order, so
 aggregation — and therefore the whole run trace — is independent of the
 engine.  Determinism holds because per-(client, round) RNG seeds are derived
 from the :class:`repro.utils.rng.SeedTree` *before* dispatch and travel with
 the task.
+
+Wire protocol (parallel engine)
+-------------------------------
+Mirrors the per-round-traffic argument PARDON makes against cross-sharing
+methods (§IV-B-3, Fig. 4b): clients keep their data, only deltas travel.
+
+1. **Registration** (once per client per pool lifetime): the full
+   :class:`Client` — dataset and scratch included — ships to its home
+   worker, then both sides mark the scratch clean.
+2. **Broadcast** (once per participating worker per round): the strategy
+   blob and the global weights; workers cache the strategy decode keyed on
+   the blob bytes.
+3. **Task** (per participant per round): ``(client_id, round_index, seed)``
+   plus a server→worker scratch delta, ``None`` unless server-side code
+   touched the client's scratch between rounds.
+4. **Delta upload** (per participant per round): the
+   :class:`ClientUpdate`, whose ``scratch_delta`` carries only the scratch
+   keys the local update wrote or removed — PARDON's style-transfer cache
+   crosses the wire once, not every round.
+
+Every hop is byte-counted in :class:`WireStats`; the server folds the
+counters into :class:`repro.fl.timing.TimingReport` so benches can print
+measured traffic next to the analytic :mod:`repro.fl.communication` model.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor as _ProcessPool
-from dataclasses import dataclass, field
+from concurrent.futures import Future, ProcessPoolExecutor as _ProcessPool
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Sequence
 
 import multiprocessing
 import numpy as np
 
-from repro.fl.client import Client
+from repro.fl.client import Client, ScratchDelta
 from repro.nn.serialize import StateDict, decode_payload, encode_payload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -44,6 +69,7 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "WireStats",
     "make_executor",
     "EXECUTOR_KINDS",
 ]
@@ -62,11 +88,13 @@ class ClientUpdate:
     prototypes, for instance — into ``payload`` instead of mutating strategy
     state from inside :meth:`repro.fl.strategy.Strategy.local_update`.
 
-    ``scratch`` is a snapshot of the client's whole scratch dict after the
-    update (filled in by the executor, not by strategies) and *replaces* the
-    server-side copy, so additions and deletions both persist; and
-    ``train_seconds`` is the worker-measured wall clock of the update, so the
-    timing report stays fair when updates overlap.
+    ``scratch_delta`` is the client's scratch changes made *by this update*
+    (filled in by the executor, not by strategies): a snapshot taken at
+    upload time, never an alias of the live scratch dict, under every
+    engine.  Applying it to any scratch copy that was in sync before the
+    update reproduces additions, overwrites, and deletions alike.
+    ``train_seconds`` is the worker-measured wall clock of the update, so
+    the timing report stays fair when updates overlap.
     """
 
     client_id: int
@@ -74,7 +102,7 @@ class ClientUpdate:
     state: StateDict
     loss: float
     payload: dict[str, object] = field(default_factory=dict)
-    scratch: dict = field(default_factory=dict)
+    scratch_delta: ScratchDelta = field(default_factory=ScratchDelta)
     train_seconds: float = 0.0
 
     @classmethod
@@ -95,6 +123,31 @@ class ClientUpdate:
         )
 
 
+@dataclass
+class WireStats:
+    """Cumulative bytes an engine moved across the process boundary.
+
+    ``registration_bytes`` also counts the per-worker model template — the
+    whole one-time cost of making a pool resident.  Serial execution has no
+    wire, so its stats stay zero.
+    """
+
+    registration_bytes: int = 0
+    broadcast_bytes: int = 0
+    task_bytes: int = 0
+    upload_bytes: int = 0
+
+    @property
+    def bytes_down(self) -> int:
+        """Server → worker traffic (registration + broadcast + tasks)."""
+        return self.registration_bytes + self.broadcast_bytes + self.task_bytes
+
+    @property
+    def bytes_up(self) -> int:
+        """Worker → server traffic (delta uploads)."""
+        return self.upload_bytes
+
+
 def _timed_local_update(
     strategy: "Strategy",
     client: Client,
@@ -103,12 +156,17 @@ def _timed_local_update(
     seed: int,
 ) -> ClientUpdate:
     """Run one local update on ``model`` (already holding the broadcast
-    weights) and stamp its wall clock + scratch snapshot."""
+    weights) and stamp its wall clock + scratch delta.
+
+    Collecting the delta here — on both engines — is what makes the
+    ``scratch_delta`` contract engine-invariant: it is always a snapshot of
+    the keys this update touched, detached from the live scratch dict.
+    """
     rng = np.random.default_rng(seed)
     start = time.perf_counter()
     update = strategy.local_update(client, model, round_index, rng)
     update.train_seconds = time.perf_counter() - start
-    update.scratch = client.scratch
+    update.scratch_delta = client.scratch.collect_delta()
     return update
 
 
@@ -131,6 +189,11 @@ class Executor:
         seeds: Sequence[int],
     ) -> list[ClientUpdate]:
         raise NotImplementedError
+
+    def wire_stats(self) -> WireStats:
+        """Snapshot of the engine's cumulative wire traffic (zero when the
+        engine moves nothing across a process boundary)."""
+        return WireStats()
 
     def close(self) -> None:
         """Release any worker resources.  Idempotent; engines may be reused
@@ -163,6 +226,11 @@ class SerialExecutor(Executor):
         updates = []
         for client, seed in zip(participants, seeds):
             model.load_state_dict(global_state)
+            # Same sync point the parallel engine has before each task: any
+            # server-side scratch edits are "shipped" to the training side —
+            # a no-op in-process — so the upload delta carries only what the
+            # update itself writes, identically on every engine.
+            client.scratch.collect_delta()
             updates.append(
                 _timed_local_update(strategy, client, model, round_index, seed)
             )
@@ -171,21 +239,34 @@ class SerialExecutor(Executor):
 
 # -- process-pool engine ------------------------------------------------------
 #
-# Workers keep a module-global model clone so the architecture ships once per
-# worker instead of once per task; the broadcast weights and the strategy
-# travel with each task, mirroring a real deployment's download link.  The
-# strategy blob is identical for every task of a round, so each worker
-# caches its decode keyed on the bytes (the contract already forbids
-# strategies mutating themselves inside local_update, so reuse is safe).
+# One single-process pool per worker slot gives deterministic task routing:
+# submissions to a slot run FIFO in one long-lived process, so a client's
+# home worker keeps its dataset, scratch, and the round's broadcast state as
+# module globals without any cross-worker coordination.
 
 _WORKER_MODEL: "FeatureClassifierModel | None" = None
 _WORKER_STRATEGY_BLOB: bytes | None = None
 _WORKER_STRATEGY: "Strategy | None" = None
+_WORKER_CLIENTS: dict[int, Client] = {}
+_WORKER_STATE: StateDict | None = None
+_WORKER_ROUND: int | None = None
 
 
 def _worker_init(model_blob: bytes) -> None:
-    global _WORKER_MODEL
+    global _WORKER_MODEL, _WORKER_STATE, _WORKER_ROUND
     _WORKER_MODEL = decode_payload(model_blob)
+    _WORKER_CLIENTS.clear()  # fork may inherit a sibling pool's module state
+    _WORKER_STATE = None
+    _WORKER_ROUND = None
+
+
+def _worker_register(clients_blob: bytes) -> int:
+    """Make the shipped clients resident; replaces same-id residents."""
+    clients: list[Client] = decode_payload(clients_blob)
+    for client in clients:
+        client.scratch.mark_clean()  # registration is the sync point
+        _WORKER_CLIENTS[client.client_id] = client
+    return len(clients)
 
 
 def _worker_strategy(strategy_blob: bytes) -> "Strategy":
@@ -196,17 +277,35 @@ def _worker_strategy(strategy_blob: bytes) -> "Strategy":
     return _WORKER_STRATEGY
 
 
-def _run_client_task(
-    task: tuple[bytes, StateDict, Client, int, int],
-) -> ClientUpdate:
-    strategy_blob, global_state, client, round_index, seed = task
-    if _WORKER_MODEL is None:  # pragma: no cover - defensive
-        raise RuntimeError("worker initialized without a model template")
-    strategy = _worker_strategy(strategy_blob)
-    _WORKER_MODEL.load_state_dict(global_state)
-    return _timed_local_update(
-        strategy, client, _WORKER_MODEL, round_index, seed
+def _worker_broadcast(
+    strategy_blob: bytes, state_blob: bytes, round_index: int
+) -> None:
+    """Install one round's strategy + global weights for this worker."""
+    global _WORKER_STATE, _WORKER_ROUND
+    _worker_strategy(strategy_blob)
+    _WORKER_STATE = decode_payload(state_blob)
+    _WORKER_ROUND = round_index
+
+
+def _run_resident_task(task: tuple[int, int, int, bytes | None]) -> bytes:
+    client_id, round_index, seed, scratch_sync = task
+    if _WORKER_MODEL is None or _WORKER_STRATEGY is None:  # pragma: no cover
+        raise RuntimeError("worker received a task before init/broadcast")
+    if _WORKER_STATE is None or _WORKER_ROUND != round_index:  # pragma: no cover
+        raise RuntimeError(
+            f"task for round {round_index} arrived without its broadcast "
+            f"(worker is at round {_WORKER_ROUND})"
+        )
+    client = _WORKER_CLIENTS.get(client_id)
+    if client is None:  # pragma: no cover - protocol violation
+        raise RuntimeError(f"client {client_id} is not resident on this worker")
+    if scratch_sync is not None:
+        client.scratch.apply_delta(decode_payload(scratch_sync))
+    _WORKER_MODEL.load_state_dict(_WORKER_STATE)
+    update = _timed_local_update(
+        _WORKER_STRATEGY, client, _WORKER_MODEL, round_index, seed
     )
+    return encode_payload(update)
 
 
 def _default_workers() -> int:
@@ -224,7 +323,7 @@ def _default_start_method() -> str:
 
 
 class ParallelExecutor(Executor):
-    """Fan sampled clients out to a :class:`ProcessPoolExecutor`.
+    """Fan sampled clients out to sticky worker processes.
 
     Parameters
     ----------
@@ -235,22 +334,24 @@ class ParallelExecutor(Executor):
         ``multiprocessing`` start method; defaults to ``fork`` when the
         platform offers it.
 
+    Each worker slot is one long-lived process (a single-worker
+    :class:`~concurrent.futures.ProcessPoolExecutor`), and every client is
+    pinned to slot ``client_id % num_workers``.  A client's dataset and
+    scratch ship to its home worker **once**, at first participation; each
+    round then sends one ``(strategy, weights)`` broadcast per participating
+    worker and a constant-size task per participant, and each upload carries
+    only the scratch keys the update changed (see the module docstring for
+    the full wire protocol).  Results come back in sampling order and the
+    uploaded deltas are applied to the server-side clients, so caches built
+    inside a worker (e.g. PARDON's style-transferred images) survive across
+    rounds exactly as they do serially.
+
     The pool is created lazily on the first round and rebuilt only when a
     different model *architecture* shows up, so one executor (and its warm
-    pool) serves consecutive runs — e.g. every split of a LODO sweep —
-    without re-forking; weights are irrelevant to the template because every
-    task loads the broadcast state.
-    Results come back in sampling order and each participant's ``scratch``
-    replaces the server-side copy, so caches built inside a worker (e.g.
-    PARDON's style-transferred images) survive across rounds exactly as they
-    do serially.
-
-    Known trade-off: each task ships its client (dataset included) to the
-    worker and the full scratch snapshot back, mirroring a real broadcast
-    but paying serialization proportional to data size every round.  For
-    dataset-scale scratch caches that overhead can eat into the speedup;
-    making clients pool-resident (ship once per worker, send scratch deltas)
-    is the next optimization if profiles warrant it.
+    pool + resident clients) serves consecutive runs — e.g. every split of a
+    LODO sweep.  Residency is keyed on client *identity*: a run that builds
+    fresh :class:`Client` objects (even with the same ids) re-registers
+    them, so stale datasets or scratch can never leak between runs.
     """
 
     def __init__(
@@ -260,8 +361,14 @@ class ParallelExecutor(Executor):
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = num_workers or _default_workers()
         self.start_method = start_method or _default_start_method()
-        self._pool: _ProcessPool | None = None
+        self.wire = WireStats()
+        self._pools: list[_ProcessPool] | None = None
         self._pool_architecture: tuple | None = None
+        # client_id -> the exact server-side object resident on its home
+        # worker.  Strong references on purpose: identity (``is``) decides
+        # re-registration, and a dead object's id must not be recycled into
+        # a false "already resident".
+        self._resident: dict[int, Client] = {}
 
     @staticmethod
     def _architecture_of(model: "FeatureClassifierModel") -> tuple:
@@ -296,19 +403,57 @@ class ParallelExecutor(Executor):
             tuple((name, buf.shape) for name, buf in model.named_buffers()),
         )
 
-    def _ensure_pool(self, model: "FeatureClassifierModel") -> _ProcessPool:
+    def wire_stats(self) -> WireStats:
+        return replace(self.wire)
+
+    def _home(self, client_id: int) -> int:
+        """Deterministic sticky affinity: a client always lands on the same
+        worker slot, independent of sampling order or round."""
+        return client_id % self.num_workers
+
+    def _ensure_pools(self, model: "FeatureClassifierModel") -> list[_ProcessPool]:
         architecture = self._architecture_of(model)
-        if self._pool is not None and self._pool_architecture != architecture:
+        if self._pools is not None and self._pool_architecture != architecture:
             self.close()
-        if self._pool is None:
-            self._pool = _ProcessPool(
-                max_workers=self.num_workers,
-                mp_context=multiprocessing.get_context(self.start_method),
-                initializer=_worker_init,
-                initargs=(encode_payload(model),),
-            )
+        if self._pools is None:
+            model_blob = encode_payload(model)
+            context = multiprocessing.get_context(self.start_method)
+            self._pools = [
+                _ProcessPool(
+                    max_workers=1,
+                    mp_context=context,
+                    initializer=_worker_init,
+                    initargs=(model_blob,),
+                )
+                for _ in range(self.num_workers)
+            ]
             self._pool_architecture = architecture
-        return self._pool
+            self.wire.registration_bytes += len(model_blob) * self.num_workers
+        return self._pools
+
+    def _register_new_participants(
+        self, pools: list[_ProcessPool], participants: Sequence[Client]
+    ) -> None:
+        """Ship not-yet-resident participants to their home workers, grouped
+        so each worker receives at most one registration blob per round."""
+        newcomers: dict[int, list[Client]] = {}
+        for client in participants:
+            if self._resident.get(client.client_id) is not client:
+                newcomers.setdefault(self._home(client.client_id), []).append(client)
+        if not newcomers:
+            return
+        futures: list[Future] = []
+        for home, clients in sorted(newcomers.items()):
+            blob = encode_payload(clients)
+            self.wire.registration_bytes += len(blob)
+            futures.append(pools[home].submit(_worker_register, blob))
+            for client in clients:
+                # Mirror the worker-side sync point: from here on, only
+                # deltas travel in either direction.
+                client.scratch.mark_clean()
+                self._resident[client.client_id] = client
+        for future in futures:
+            future.result()  # surface registration errors before any task
 
     def run_round(
         self,
@@ -319,28 +464,61 @@ class ParallelExecutor(Executor):
         round_index: int,
         seeds: Sequence[int],
     ) -> list[ClientUpdate]:
-        pool = self._ensure_pool(model)
+        pools = self._ensure_pools(model)
+        self._register_new_participants(pools, participants)
+
+        # One broadcast per participating worker, not per task.
         strategy_blob = encode_payload(strategy)
-        tasks = [
-            (strategy_blob, global_state, client, round_index, seed)
-            for client, seed in zip(participants, seeds)
-        ]
-        updates = list(pool.map(_run_client_task, tasks))
-        # Persist worker-side caches on the server's client objects so the
-        # next round (possibly on a different worker) sees them.  The upload
-        # carries the client's *whole* scratch dict, so replacing (not
-        # merging) keeps worker-side deletions engine-invariant too.
-        for client, update in zip(participants, updates):
-            if client.scratch is not update.scratch:
-                client.scratch.clear()
-                client.scratch.update(update.scratch)
+        state_blob = encode_payload(global_state)
+        homes = {self._home(client.client_id) for client in participants}
+        broadcast_futures = []
+        for home in sorted(homes):
+            self.wire.broadcast_bytes += len(strategy_blob) + len(state_blob)
+            broadcast_futures.append(
+                pools[home].submit(
+                    _worker_broadcast, strategy_blob, state_blob, round_index
+                )
+            )
+        for future in broadcast_futures:
+            future.result()
+
+        # Constant-size tasks; the scratch sync blob is None unless
+        # server-side code touched the client's scratch since the last sync.
+        task_futures: list[Future] = []
+        for client, seed in zip(participants, seeds):
+            server_delta = client.scratch.collect_delta()
+            sync_blob = encode_payload(server_delta) if server_delta else None
+            task = (client.client_id, round_index, seed, sync_blob)
+            # Count the fixed fields exactly but never re-pickle the sync
+            # blob (it can be dataset-scale); its pickle framing is noise.
+            self.wire.task_bytes += len(
+                pickle.dumps(
+                    (client.client_id, round_index, seed, None),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            ) + (len(sync_blob) if sync_blob is not None else 0)
+            task_futures.append(
+                pools[self._home(client.client_id)].submit(_run_resident_task, task)
+            )
+
+        updates: list[ClientUpdate] = []
+        for client, future in zip(participants, task_futures):
+            blob = future.result()
+            self.wire.upload_bytes += len(blob)
+            update: ClientUpdate = decode_payload(blob)
+            # Sync the server-side copy; applying (rather than recording)
+            # keeps its dirty set empty, so nothing bounces back next round.
+            client.scratch.apply_delta(update.scratch_delta)
+            updates.append(update)
         return updates
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        if self._pools is not None:
+            for pool in self._pools:
+                pool.shutdown(wait=True)
+            self._pools = None
             self._pool_architecture = None
+        self._resident.clear()
 
 
 def make_executor(kind: str = "serial", workers: int | None = None) -> Executor:

@@ -139,6 +139,10 @@ class FederatedServer:
             # prepare() may have touched the workspace model; restore.
             self.model.load_state_dict(global_state)
 
+        # Engine wire counters are cumulative across runs (a warm pool may
+        # serve many); diff them per round so the report covers this run.
+        wire_before = self.executor.wire_stats()
+
         for round_index in range(self.config.num_rounds):
             round_rng = self._seed_tree.generator("sample", round_index)
             participants = self.sampler.sample(self.clients, round_rng)
@@ -161,6 +165,12 @@ class FederatedServer:
             timer.record_local_wall(time.perf_counter() - wall_start)
             for update in updates:
                 timer.record_local_train(update.train_seconds)
+            wire_now = self.executor.wire_stats()
+            timer.record_bytes(
+                wire_now.bytes_up - wire_before.bytes_up,
+                wire_now.bytes_down - wire_before.bytes_down,
+            )
+            wire_before = wire_now
 
             with timer.aggregation():
                 global_state = self.strategy.aggregate(

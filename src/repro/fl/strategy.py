@@ -26,6 +26,12 @@ it wants the server to see travels back inside the returned
 forbidden.  Server-only attributes that should not ship to workers (model
 handles, client registries) are listed in ``_server_only_state`` and
 stripped on pickling.
+
+Per-client state that must persist across rounds belongs in
+``client.scratch`` (a :class:`repro.fl.client.ScratchSpace`).  Change
+tracking is key-granular: *assign or delete whole keys*; mutating a stored
+value in place is invisible to the delta sync that carries scratch changes
+back from worker processes.
 """
 
 from __future__ import annotations

@@ -34,6 +34,10 @@ class TimingReport:
     aggregation_seconds_total: float
     rounds: int
     local_train_wall_seconds_total: float = 0.0
+    #: Measured traffic across the execution engine's process boundary
+    #: (zero for in-process engines); see repro.fl.executor.WireStats.
+    bytes_up: int = 0
+    bytes_down: int = 0
 
     @property
     def local_train_seconds_mean(self) -> float:
@@ -56,6 +60,11 @@ class TimingReport:
             return 1.0
         return self.local_train_seconds_total / self.local_train_wall_seconds_total
 
+    @property
+    def bytes_total(self) -> int:
+        """All measured wire traffic, both directions."""
+        return self.bytes_up + self.bytes_down
+
 
 class PhaseTimer:
     """Accumulate durations into the three Fig.-4 buckets."""
@@ -67,6 +76,8 @@ class PhaseTimer:
         self._local_wall = 0.0
         self._aggregate_total = 0.0
         self._rounds = 0
+        self._bytes_up = 0
+        self._bytes_down = 0
 
     @contextmanager
     def one_time(self) -> Iterator[None]:
@@ -104,6 +115,11 @@ class PhaseTimer:
         """Account the elapsed server-side time of one round's local phase."""
         self._local_wall += seconds
 
+    def record_bytes(self, bytes_up: int, bytes_down: int) -> None:
+        """Account measured wire traffic (e.g. one round's executor delta)."""
+        self._bytes_up += int(bytes_up)
+        self._bytes_down += int(bytes_down)
+
     @contextmanager
     def aggregation(self) -> Iterator[None]:
         start = time.perf_counter()
@@ -121,4 +137,6 @@ class PhaseTimer:
             aggregation_seconds_total=self._aggregate_total,
             rounds=self._rounds,
             local_train_wall_seconds_total=self._local_wall,
+            bytes_up=self._bytes_up,
+            bytes_down=self._bytes_down,
         )

@@ -9,6 +9,7 @@ verified primitives.
 from __future__ import annotations
 
 import pickle
+import struct
 from typing import Any, Iterable, Sequence
 
 import numpy as np
@@ -60,10 +61,20 @@ def average_states(
     if total <= 0:
         raise ValueError("weights must not sum to zero")
     weights = weights / total
-    return {
-        key: sum(w * state[key] for w, state in zip(weights, states))
-        for key in keys
-    }
+    # In-place accumulation: one output plus one reusable scratch buffer per
+    # key instead of a fresh ``w * state[key]`` temporary per (key, client).
+    # The add order matches the old ``sum()`` exactly, so results stay
+    # bit-identical — aggregation is on the determinism-critical path.
+    result: StateDict = {}
+    for key in keys:
+        acc = np.multiply(states[0][key], weights[0])
+        if len(states) > 1:
+            scratch = np.empty_like(acc)
+            for w, state in zip(weights[1:], states[1:]):
+                np.multiply(state[key], w, out=scratch)
+                np.add(acc, scratch, out=acc)
+        result[key] = acc
+    return result
 
 
 def state_add(a: StateDict, b: StateDict) -> StateDict:
@@ -116,21 +127,79 @@ def state_allclose(a: StateDict, b: StateDict, atol: float = 1e-10) -> bool:
     return all(np.allclose(a[key], b[key], atol=atol) for key in a)
 
 
+# State dicts get a pickle-protocol-5 fast path: array bodies leave the
+# pickle stream as out-of-band buffers and are framed after the (tiny) head,
+# so encoding skips pickle's per-array framing and *decoding* hands numpy
+# zero-copy views into the received blob instead of fresh allocations.
+_OOB_MAGIC = b"RPB5"
+_OOB_LEN = struct.Struct("<Q")
+
+
+def _is_state_dict(obj: Any) -> bool:
+    return (
+        type(obj) is dict
+        and bool(obj)
+        and all(
+            type(key) is str and isinstance(value, np.ndarray)
+            for key, value in obj.items()
+        )
+    )
+
+
 def encode_payload(obj: Any) -> bytes:
     """Serialize a broadcast payload (model template, strategy state) to bytes.
 
     The parallel execution engine uses this pair for the payloads it encodes
     explicitly; it turns "is it serializable?" into an error naming the
-    offending object at dispatch time.  (Task arguments and uploads are
-    pickled by the process pool itself and fail with the pool's own
-    traceback instead.)
+    offending object at dispatch time.  (Task arguments are pickled by the
+    process pool itself and fail with the pool's own traceback instead.)
+
+    :class:`StateDict`-shaped objects take the out-of-band fast path; both
+    framings decode through :func:`decode_payload`, which dispatches on the
+    leading magic bytes (a plain pickle stream can never start with them).
     """
     try:
+        if _is_state_dict(obj):
+            buffers: list[pickle.PickleBuffer] = []
+            head = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+            parts: list[bytes | memoryview] = [
+                _OOB_MAGIC,
+                _OOB_LEN.pack(len(head)),
+                head,
+                _OOB_LEN.pack(len(buffers)),
+            ]
+            for buffer in buffers:
+                raw = buffer.raw()
+                parts.append(_OOB_LEN.pack(raw.nbytes))
+                parts.append(raw)
+            return b"".join(parts)
         return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
     except Exception as exc:  # surface *what* failed to serialize
         raise TypeError(f"payload of type {type(obj).__name__} is not serializable: {exc}") from exc
 
 
 def decode_payload(data: bytes) -> Any:
-    """Inverse of :func:`encode_payload`."""
+    """Inverse of :func:`encode_payload`.
+
+    Fast-path blobs decode zero-copy: the returned arrays are *read-only
+    views* into ``data``.  Every consumer in this repository treats decoded
+    states as immutable (``load_state_dict`` copies; aggregation allocates
+    fresh outputs); call ``.copy()`` first if you need to mutate one.
+    """
+    if data[: len(_OOB_MAGIC)] == _OOB_MAGIC:
+        view = memoryview(data)
+        offset = len(_OOB_MAGIC)
+        (head_len,) = _OOB_LEN.unpack_from(view, offset)
+        offset += _OOB_LEN.size
+        head = view[offset : offset + head_len]
+        offset += head_len
+        (count,) = _OOB_LEN.unpack_from(view, offset)
+        offset += _OOB_LEN.size
+        buffers = []
+        for _ in range(count):
+            (length,) = _OOB_LEN.unpack_from(view, offset)
+            offset += _OOB_LEN.size
+            buffers.append(view[offset : offset + length])
+            offset += length
+        return pickle.loads(head, buffers=buffers)
     return pickle.loads(data)

@@ -5,6 +5,8 @@ must produce *identical* `RunHistory` traces and final accuracies — the
 round loop's semantics may not depend on how the fan-out executes.
 """
 
+import itertools
+import os
 import pickle
 
 import numpy as np
@@ -25,6 +27,7 @@ from repro.fl import (
 )
 from repro.fl.timing import PhaseTimer
 from repro.nn import build_mlp_model
+from repro.utils.rng import SeedTree
 
 SUITE = synthetic_pacs(seed=0, samples_per_class=8, image_size=8)
 FAST = LocalTrainingConfig(batch_size=8)
@@ -157,6 +160,268 @@ class ScratchCyclingStrategy(FedAvgStrategy):
         return super().local_update(client, model, round_index, rng)
 
 
+class EchoStrategy(FedAvgStrategy):
+    """Echoes a server-written scratch note back through the worker, so the
+    task's server->worker scratch sync is observable."""
+
+    name = "echo"
+
+    def local_update(self, client, model, round_index, rng):
+        client.scratch["echo"] = client.scratch.get("server_note")
+        return super().local_update(client, model, round_index, rng)
+
+
+class PidStampStrategy(FedAvgStrategy):
+    """Stamps the worker's pid into scratch each round, one key per round so
+    every stamp travels in that round's delta."""
+
+    name = "pid_stamp"
+
+    def local_update(self, client, model, round_index, rng):
+        client.scratch[f"pid_{round_index}"] = os.getpid()
+        return super().local_update(client, model, round_index, rng)
+
+
+def _round_setup(clients, rounds=1):
+    """Participants (all clients) + per-round seeds, mirroring the server."""
+    tree = SeedTree(0).child("server", "test")
+    return [
+        [
+            tree.seed("client", client.client_id, "round", round_index)
+            for client in clients
+        ]
+        for round_index in range(rounds)
+    ]
+
+
+class TestWireProtocol:
+    """Pool residency and the delta-based wire protocol."""
+
+    def _model(self):
+        return build_mlp_model(
+            SUITE.image_shape, SUITE.num_classes, rng=np.random.default_rng(0)
+        )
+
+    def test_datasets_ship_once_per_pool_lifetime(self):
+        clients = make_clients()
+        model = self._model()
+        state = model.state_dict()
+        seeds = _round_setup(clients, rounds=2)
+        with ParallelExecutor(num_workers=2) as executor:
+            executor.run_round(FedAvgStrategy(FAST), model, state, clients, 0, seeds[0])
+            registered = executor.wire_stats().registration_bytes
+            assert registered > 0
+            executor.run_round(FedAvgStrategy(FAST), model, state, clients, 1, seeds[1])
+            assert executor.wire_stats().registration_bytes == registered
+
+    def test_task_payload_excludes_dataset_and_state(self):
+        clients = make_clients()
+        model = self._model()
+        state = model.state_dict()
+        seeds = _round_setup(clients)[0]
+        with ParallelExecutor(num_workers=2) as executor:
+            executor.run_round(FedAvgStrategy(FAST), model, state, clients, 0, seeds)
+            wire = executor.wire_stats()
+        # Tasks are (client_id, round, seed, None): constant-size, far below
+        # even a single client's pickled dataset.
+        per_task = wire.task_bytes / len(clients)
+        assert per_task < 256
+        assert wire.task_bytes < len(pickle.dumps(clients[0]))
+
+    def test_broadcast_is_per_worker_not_per_task(self):
+        clients = make_clients()
+        model = self._model()
+        state = model.state_dict()
+        seeds = _round_setup(clients)[0]
+        state_bytes = len(pickle.dumps(state))
+        with ParallelExecutor(num_workers=2) as executor:
+            executor.run_round(FedAvgStrategy(FAST), model, state, clients, 0, seeds)
+            wire = executor.wire_stats()
+        # 8 participants on 2 workers: well under one state blob per task.
+        assert wire.broadcast_bytes < state_bytes * 3
+
+    def test_sticky_affinity_is_by_client_id_modulo_workers(self):
+        clients = make_clients()
+        with ParallelExecutor(num_workers=2) as executor:
+            server = FederatedServer(
+                strategy=PidStampStrategy(FAST),
+                clients=clients,
+                model=self._model(),
+                eval_sets={},
+                config=FederatedConfig(num_rounds=2, clients_per_round=8, seed=0),
+                executor=executor,
+            )
+            server.run()
+        pids = {
+            client.client_id: (client.scratch["pid_0"], client.scratch["pid_1"])
+            for client in clients
+        }
+        # Same worker across rounds...
+        for first, second in pids.values():
+            assert first == second
+        # ...and the same worker for every client with the same home slot.
+        for a, b in itertools.combinations(clients, 2):
+            if a.client_id % 2 == b.client_id % 2:
+                assert pids[a.client_id] == pids[b.client_id]
+            else:
+                assert pids[a.client_id] != pids[b.client_id]
+
+    def test_scratch_cache_travels_once_not_every_round(self):
+        """PARDON's transfer cache crosses the wire in the round that builds
+        it; later uploads carry only the model state."""
+        clients = make_clients()
+        strategy = PardonStrategy(local_config=FAST)
+        model = self._model()
+        state = model.state_dict()
+        seeds = _round_setup(clients, rounds=3)
+        with ParallelExecutor(num_workers=2) as executor:
+            strategy.prepare(clients, model, np.random.default_rng(1))
+            model.load_state_dict(state)
+            executor.run_round(strategy, model, state, clients, 0, seeds[0])
+            first_round_up = executor.wire_stats().upload_bytes
+            executor.run_round(strategy, model, state, clients, 1, seeds[1])
+            second_round_up = executor.wire_stats().upload_bytes - first_round_up
+            executor.run_round(strategy, model, state, clients, 2, seeds[2])
+            third_round_up = (
+                executor.wire_stats().upload_bytes - first_round_up - second_round_up
+            )
+        # Round 0's uploads carry the freshly-built cache on top of the
+        # state dicts; the drop from round 0 to round 1 must account for
+        # (most of) the cache, which then never travels again.
+        cache_bytes = sum(
+            len(pickle.dumps(dict(client.scratch))) for client in clients
+        )
+        assert cache_bytes > 0
+        assert first_round_up - second_round_up > cache_bytes * 0.5
+        # And uploads stay flat once warm (no cache churn round over round).
+        assert abs(third_round_up - second_round_up) < second_round_up * 0.1
+
+    def test_new_client_objects_are_reregistered(self):
+        """Fresh Client objects with recycled ids (a new run on a warm pool)
+        must not see the previous run's resident data."""
+        executor = ParallelExecutor(num_workers=2)
+        try:
+            first = run_once(PardonStrategy(local_config=FAST), executor)
+            second = run_once(PardonStrategy(local_config=FAST), executor)
+            assert_identical_runs(first, second)
+        finally:
+            executor.close()
+
+    def test_server_side_scratch_edits_reach_workers(self):
+        """Out-of-band server-side scratch writes between rounds must be
+        visible to the resident copy (shipped as a task sync delta)."""
+        clients = make_clients()
+        model = self._model()
+        state = model.state_dict()
+        seeds = _round_setup(clients, rounds=2)
+        with ParallelExecutor(num_workers=2) as executor:
+            executor.run_round(EchoStrategy(FAST), model, state, clients, 0, seeds[0])
+            for client in clients:
+                client.scratch["server_note"] = f"note-{client.client_id}"
+            executor.run_round(EchoStrategy(FAST), model, state, clients, 1, seeds[1])
+        for client in clients:
+            assert client.scratch["echo"] == f"note-{client.client_id}"
+
+    def test_wire_bytes_land_in_timing_report(self):
+        with ParallelExecutor(num_workers=2) as executor:
+            result = run_once(FedAvgStrategy(FAST), executor, rounds=2)
+        assert result.timing.bytes_up > 0
+        assert result.timing.bytes_down > 0
+        assert result.timing.bytes_total == (
+            result.timing.bytes_up + result.timing.bytes_down
+        )
+
+    def test_serial_engine_reports_zero_wire_bytes(self):
+        result = run_once(FedAvgStrategy(FAST), SerialExecutor(), rounds=2)
+        assert result.timing.bytes_up == 0
+        assert result.timing.bytes_down == 0
+
+    def test_report_covers_only_this_run_on_a_warm_pool(self):
+        """Executor counters are cumulative across runs; each report must
+        still count only its own run's traffic."""
+        with ParallelExecutor(num_workers=2) as executor:
+            first = run_once(FedAvgStrategy(FAST), executor, rounds=1)
+            second = run_once(FedAvgStrategy(FAST), executor, rounds=1)
+        # The second run re-registers its fresh clients, so its totals are
+        # close to the first run's — not the cumulative sum.
+        assert second.timing.bytes_down < first.timing.bytes_down * 1.5
+
+
+class TestScratchDeltaContract:
+    """Satellite regression: ClientUpdate carries a snapshot delta, never an
+    alias of the live scratch dict — on every engine."""
+
+    def _one_round(self, executor):
+        clients = make_clients()
+        model = build_mlp_model(
+            SUITE.image_shape, SUITE.num_classes, rng=np.random.default_rng(0)
+        )
+        seeds = _round_setup(clients)[0]
+        updates = executor.run_round(
+            ScratchCyclingStrategy(FAST), model, model.state_dict(), clients, 0, seeds
+        )
+        return clients, updates
+
+    def test_serial_delta_is_a_snapshot_not_an_alias(self):
+        clients, updates = self._one_round(SerialExecutor())
+        update = updates[0]
+        assert update.scratch_delta.updates == {"marker": 0}
+        clients[0].scratch["marker"] = "mutated-after-upload"
+        assert update.scratch_delta.updates == {"marker": 0}
+
+    def test_parallel_delta_matches_serial(self):
+        serial_clients, serial_updates = self._one_round(SerialExecutor())
+        with ParallelExecutor(num_workers=2) as executor:
+            parallel_clients, parallel_updates = self._one_round(executor)
+        for s, p in zip(serial_updates, parallel_updates):
+            assert s.scratch_delta.updates == p.scratch_delta.updates
+            assert s.scratch_delta.removed == p.scratch_delta.removed
+        for s, p in zip(serial_clients, parallel_clients):
+            assert dict(s.scratch) == dict(p.scratch)
+
+    def test_server_side_writes_stay_out_of_the_upload_delta(self):
+        """Engine invariance includes server-side scratch edits between
+        rounds: they sync *down* before the update, so the upload delta
+        contains only the update's own writes on either engine."""
+
+        def one_round(executor):
+            clients = make_clients()
+            model = build_mlp_model(
+                SUITE.image_shape, SUITE.num_classes, rng=np.random.default_rng(0)
+            )
+            rounds = _round_setup(clients, rounds=2)
+            executor.run_round(
+                EchoStrategy(FAST), model, model.state_dict(), clients, 0, rounds[0]
+            )
+            for client in clients:
+                client.scratch["server_note"] = f"note-{client.client_id}"
+            return executor.run_round(
+                EchoStrategy(FAST), model, model.state_dict(), clients, 1, rounds[1]
+            )
+
+        serial_updates = one_round(SerialExecutor())
+        with ParallelExecutor(num_workers=2) as executor:
+            parallel_updates = one_round(executor)
+        for s, p in zip(serial_updates, parallel_updates):
+            assert set(s.scratch_delta.updates) == {"echo"}
+            assert s.scratch_delta.updates == p.scratch_delta.updates
+
+    def test_deletion_travels_in_the_delta(self):
+        clients = make_clients()
+        model = build_mlp_model(
+            SUITE.image_shape, SUITE.num_classes, rng=np.random.default_rng(0)
+        )
+        rounds = _round_setup(clients, rounds=2)
+        executor = SerialExecutor()
+        executor.run_round(
+            ScratchCyclingStrategy(FAST), model, model.state_dict(), clients, 0, rounds[0]
+        )
+        updates = executor.run_round(
+            ScratchCyclingStrategy(FAST), model, model.state_dict(), clients, 1, rounds[1]
+        )
+        assert updates[0].scratch_delta.removed == ("marker",)
+
+
 class TestParallelMechanics:
     def test_scratch_deletions_propagate(self):
         """Worker-side scratch removals must reach the server-side client,
@@ -274,6 +539,43 @@ class TestTimingAccounting:
 
     def test_speedup_defaults_to_one(self):
         assert PhaseTimer().report().local_train_speedup == 1.0
+
+    def test_speedup_with_zero_invocations_and_zero_wall(self):
+        """Edge cases: an empty report and a compute-only report must not
+        divide by zero."""
+        empty = PhaseTimer().report()
+        assert empty.local_train_invocations == 0
+        assert empty.local_train_seconds_mean == 0.0
+        assert empty.local_train_speedup == 1.0
+        compute_only = PhaseTimer()
+        compute_only.record_local_train(1.0)  # no wall recorded
+        assert compute_only.report().local_train_speedup == 1.0
+
+    def test_context_manager_and_record_paths_agree(self, monkeypatch):
+        """The convenience context manager and the record_* pair must
+        account the same serial workload identically."""
+        ticks = iter(float(i) for i in range(1000))
+        monkeypatch.setattr(
+            "repro.fl.timing.time.perf_counter", lambda: next(ticks)
+        )
+        with_context = PhaseTimer()
+        for _ in range(3):
+            with with_context.local_train():
+                pass  # each enter/exit consumes two ticks -> 1.0s elapsed
+        with_records = PhaseTimer()
+        for _ in range(3):
+            with_records.record_local_train(1.0)
+            with_records.record_local_wall(1.0)
+        assert with_context.report() == with_records.report()
+
+    def test_record_bytes_accumulates_into_report(self):
+        timer = PhaseTimer()
+        timer.record_bytes(100, 200)
+        timer.record_bytes(1, 2)
+        report = timer.report()
+        assert report.bytes_up == 101
+        assert report.bytes_down == 202
+        assert report.bytes_total == 303
 
     def test_parallel_run_reports_worker_seconds(self):
         with ParallelExecutor(num_workers=2) as executor:

@@ -1,0 +1,143 @@
+"""Tests for the change-tracking scratch wrapper (`repro.fl.client`).
+
+`ScratchSpace` is the foundation of the delta-based wire protocol: every
+key written or removed since the last sync point must be captured by
+`collect_delta`, and applying the delta to any copy that was in sync must
+reproduce the source exactly.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import LabeledDataset
+from repro.fl import Client, ScratchDelta, ScratchSpace
+
+
+def make_dataset(n=4):
+    rng = np.random.default_rng(0)
+    return LabeledDataset(
+        images=rng.normal(size=(n, 3, 4, 4)),
+        labels=np.zeros(n, dtype=np.int64),
+        domain_ids=np.zeros(n, dtype=np.int64),
+    )
+
+
+class TestScratchSpaceMapping:
+    def test_behaves_like_a_dict(self):
+        space = ScratchSpace()
+        space["a"] = 1
+        space["b"] = 2
+        assert space["a"] == 1
+        assert "b" in space and "c" not in space
+        assert len(space) == 2
+        assert sorted(space) == ["a", "b"]
+        assert dict(space) == {"a": 1, "b": 2}
+        del space["a"]
+        assert "a" not in space
+
+    def test_get_pop_setdefault(self):
+        space = ScratchSpace({"a": 1})
+        assert space.get("missing") is None
+        assert space.pop("missing", "default") == "default"
+        assert space.pop("a") == 1
+        assert space.setdefault("b", 7) == 7
+        assert space.setdefault("b", 9) == 7
+
+    def test_equality_with_dicts_and_spaces(self):
+        assert ScratchSpace({"a": 1}) == {"a": 1}
+        assert ScratchSpace({"a": 1}) == ScratchSpace({"a": 1})
+        assert ScratchSpace({"a": 1}) != {"a": 2}
+
+
+class TestChangeTracking:
+    def test_initial_contents_count_as_unsynced(self):
+        space = ScratchSpace({"a": 1})
+        assert space.dirty_keys == ("a",)
+
+    def test_collect_delta_captures_writes_and_removals(self):
+        space = ScratchSpace({"keep": 0, "drop": 1})
+        space.mark_clean()
+        space["new"] = 2
+        space["keep"] = 3
+        del space["drop"]
+        delta = space.collect_delta()
+        assert delta.updates == {"new": 2, "keep": 3}
+        assert delta.removed == ("drop",)
+        # Collecting marks clean: the next delta is empty.
+        assert not space.collect_delta()
+
+    def test_write_then_delete_in_one_interval_is_a_removal(self):
+        space = ScratchSpace()
+        space.mark_clean()
+        space["temp"] = 1
+        del space["temp"]
+        delta = space.collect_delta()
+        assert delta.updates == {}
+        assert delta.removed == ("temp",)
+
+    def test_pop_with_default_on_missing_key_is_not_a_removal(self):
+        space = ScratchSpace()
+        space.mark_clean()
+        space.pop("never-there", None)
+        assert not space.collect_delta()
+
+    def test_clear_marks_every_key_removed(self):
+        space = ScratchSpace({"a": 1, "b": 2})
+        space.mark_clean()
+        space.clear()
+        delta = space.collect_delta()
+        assert sorted(delta.removed) == ["a", "b"]
+
+    def test_apply_delta_round_trips_a_synced_copy(self):
+        source = ScratchSpace({"keep": 0, "drop": 1, "edit": 2})
+        mirror = ScratchSpace(dict(source))
+        source.mark_clean()
+        source["new"] = 3
+        source["edit"] = 4
+        del source["drop"]
+        mirror.apply_delta(source.collect_delta())
+        assert mirror == source
+
+    def test_apply_delta_does_not_re_mark_dirty(self):
+        space = ScratchSpace()
+        space.mark_clean()
+        space.apply_delta(ScratchDelta(updates={"a": 1}, removed=("b",)))
+        assert space["a"] == 1
+        assert not space.collect_delta()
+
+    def test_delta_truthiness(self):
+        assert not ScratchDelta()
+        assert ScratchDelta(updates={"a": 1})
+        assert ScratchDelta(removed=("a",))
+
+
+class TestPickling:
+    def test_round_trip_preserves_data_and_tracking(self):
+        space = ScratchSpace({"synced": 0})
+        space.mark_clean()
+        space["pending"] = np.arange(3)
+        clone = pickle.loads(pickle.dumps(space))
+        assert sorted(clone) == sorted(space)
+        assert clone["synced"] == 0
+        assert clone.dirty_keys == ("pending",)
+        delta = clone.collect_delta()
+        np.testing.assert_array_equal(delta.updates["pending"], np.arange(3))
+
+
+class TestClientIntegration:
+    def test_client_wraps_plain_dict_scratch(self):
+        client = Client(0, make_dataset(), scratch={"seed": 1})
+        assert isinstance(client.scratch, ScratchSpace)
+        assert client.scratch["seed"] == 1
+
+    def test_default_scratch_is_a_scratch_space(self):
+        client = Client(0, make_dataset())
+        assert isinstance(client.scratch, ScratchSpace)
+        client.scratch["k"] = "v"
+        assert client.scratch.collect_delta().updates == {"k": "v"}
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q"])

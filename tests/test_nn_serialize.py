@@ -1,5 +1,7 @@
 """Tests for state-dict arithmetic (the FL wire format), incl. properties."""
 
+import pickle
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -7,6 +9,8 @@ from hypothesis import strategies as st
 
 from repro.nn.serialize import (
     average_states,
+    decode_payload,
+    encode_payload,
     flatten_state,
     state_add,
     state_allclose,
@@ -152,3 +156,94 @@ class TestAveragingProperties:
             assert state_allclose(
                 unflatten_state(flatten_state(state), state), state
             )
+
+
+class TestAverageStatesInPlace:
+    """The in-place accumulation must be bit-identical to the naive
+    ``sum()`` over per-key temporaries it replaced."""
+
+    @staticmethod
+    def naive(states, weights=None):
+        if weights is None:
+            weights = [1.0] * len(states)
+        normalized = np.asarray(weights, dtype=np.float64)
+        normalized = normalized / normalized.sum()
+        return {
+            key: sum(w * state[key] for w, state in zip(normalized, states))
+            for key in sorted(states[0])
+        }
+
+    def test_bit_identical_to_naive_sum(self, rng):
+        states = [make_state(rng, offset=i * 0.3) for i in range(5)]
+        weights = [3.0, 0.0, 1.5, 7.0, 2.0]
+        fast = average_states(states, weights)
+        for key, value in self.naive(states, weights).items():
+            np.testing.assert_array_equal(fast[key], value)
+
+    def test_bit_identical_with_uniform_weights(self, rng):
+        states = [make_state(rng) for _ in range(3)]
+        fast = average_states(states)
+        for key, value in self.naive(states).items():
+            np.testing.assert_array_equal(fast[key], value)
+
+    def test_accepts_readonly_inputs_and_returns_writable(self, rng):
+        states = [make_state(rng) for _ in range(2)]
+        for state in states:
+            for value in state.values():
+                value.setflags(write=False)
+        avg = average_states(states)
+        assert all(value.flags.writeable for value in avg.values())
+
+    def test_does_not_mutate_inputs(self, rng):
+        states = [make_state(rng) for _ in range(3)]
+        originals = [{k: v.copy() for k, v in s.items()} for s in states]
+        average_states(states, weights=[1.0, 2.0, 3.0])
+        for state, original in zip(states, originals):
+            for key in state:
+                np.testing.assert_array_equal(state[key], original[key])
+
+
+class TestPayloadCodec:
+    """encode/decode round trips, incl. the protocol-5 StateDict fast path."""
+
+    def test_state_dict_takes_out_of_band_fast_path(self, rng):
+        state = make_state(rng)
+        blob = encode_payload(state)
+        assert blob[:4] == b"RPB5"
+        decoded = decode_payload(blob)
+        assert sorted(decoded) == sorted(state)
+        for key in state:
+            np.testing.assert_array_equal(decoded[key], state[key])
+
+    def test_fast_path_decodes_zero_copy_readonly(self, rng):
+        """Documented contract: fast-path arrays are read-only views into
+        the blob; consumers copy before mutating."""
+        decoded = decode_payload(encode_payload(make_state(rng)))
+        assert all(not value.flags.writeable for value in decoded.values())
+
+    def test_fast_path_handles_noncontiguous_arrays(self, rng):
+        state = {"t": np.asarray(rng.normal(size=(6, 4))).T}  # F-contiguous
+        decoded = decode_payload(encode_payload(state))
+        np.testing.assert_array_equal(decoded["t"], state["t"])
+
+    def test_non_state_dicts_use_the_plain_pickle_path(self):
+        for payload in ([1, 2, 3], {"mixed": 1}, {}, "text"):
+            blob = encode_payload(payload)
+            assert blob[:4] != b"RPB5"
+            assert decode_payload(blob) == payload
+        # Non-string keys disqualify a dict from the StateDict fast path.
+        int_keyed = {1: np.zeros(2)}
+        blob = encode_payload(int_keyed)
+        assert blob[:4] != b"RPB5"
+        np.testing.assert_array_equal(decode_payload(blob)[1], int_keyed[1])
+
+    def test_legacy_plain_pickle_blobs_still_decode(self, rng):
+        state = make_state(rng)
+        blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        decoded = decode_payload(blob)
+        for key in state:
+            np.testing.assert_array_equal(decoded[key], state[key])
+
+    def test_unserializable_payload_names_the_offender(self):
+        with pytest.raises(TypeError, match="generator"):
+            encode_payload((x for x in range(3)))
