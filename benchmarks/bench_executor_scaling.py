@@ -18,14 +18,23 @@ magnitude (the dataset ships once at registration), and the upload collapses
 after round 0 because the style-transfer cache travels as a delta exactly
 once.
 
+The third table measures the codec stack (``repro.fl.codec``): warm
+per-round bytes on the 2-worker engine per codec, in the from-scratch
+training regime *and* the fine-tuning regime (tiny updates).  Shape to
+check: ``delta`` sits near the lossless entropy bound (~1.3x) from scratch
+and clears 2x fine-tuning; ``fp16``/``qint8`` cut weight bytes by 4x/8x in
+both regimes (lossy).
+
 Run directly for the full table, or with ``--smoke`` for the CI-scale
-variant (fast data scale, workers {1, 2}).
+variant (fast data scale, workers {1, 2}).  ``--codec SPEC`` runs the
+scaling table under that wire codec — the CI codec matrix uses it to check
+serial/parallel trace identity per codec.
 """
 
 from __future__ import annotations
 
+import argparse
 import pickle
-import sys
 
 import numpy as np
 
@@ -43,11 +52,13 @@ from repro.fl import (
     make_executor,
 )
 from repro.nn.models import build_cnn_model
+from repro.utils.rng import SeedTree
 from repro.utils.tables import format_table
 
 CLIENTS_PER_ROUND = 8
 NUM_CLIENTS = 16
 WORKER_GRID = [1, 2, 4]
+CODEC_GRID = ["identity", "delta", "fp16", "qint8", "qint8+deflate"]
 
 
 def _make_clients(suite):
@@ -57,7 +68,7 @@ def _make_clients(suite):
     return [Client(i, d) for i, d in enumerate(partition.client_datasets)]
 
 
-def _run_with_workers(suite, rounds: int, workers: int, strategy=None):
+def _run_with_workers(suite, rounds: int, workers: int, strategy=None, codec="identity"):
     clients = _make_clients(suite)
     model = build_cnn_model(
         suite.image_shape, suite.num_classes, rng=np.random.default_rng(0)
@@ -65,6 +76,7 @@ def _run_with_workers(suite, rounds: int, workers: int, strategy=None):
     executor = make_executor(
         "serial" if workers == 1 else "parallel",
         workers=None if workers == 1 else workers,
+        codec=codec,
     )
     server = FederatedServer(
         strategy=strategy or FedAvgStrategy(LocalTrainingConfig(batch_size=32)),
@@ -72,7 +84,8 @@ def _run_with_workers(suite, rounds: int, workers: int, strategy=None):
         model=model,
         eval_sets={"test": suite.datasets[3]},
         config=FederatedConfig(
-            num_rounds=rounds, clients_per_round=CLIENTS_PER_ROUND, seed=0
+            num_rounds=rounds, clients_per_round=CLIENTS_PER_ROUND, seed=0,
+            codec=codec,
         ),
         executor=executor,
     )
@@ -95,12 +108,12 @@ def _trace_of(result):
     )
 
 
-def _run(suite, worker_grid) -> str:
+def _run(suite, worker_grid, codec="identity") -> str:
     rounds = bench_rounds(4)
     rows = []
     baseline_trace = None
     for workers in worker_grid:
-        result, _, _ = _run_with_workers(suite, rounds, workers)
+        result, _, _ = _run_with_workers(suite, rounds, workers, codec=codec)
         timing = result.timing
         trace = _trace_of(result)
         if baseline_trace is None:
@@ -129,7 +142,8 @@ def _run(suite, worker_grid) -> str:
         rows,
         title=(
             f"Executor scaling — {rounds} rounds, "
-            f"{CLIENTS_PER_ROUND}/{NUM_CLIENTS} clients per round"
+            f"{CLIENTS_PER_ROUND}/{NUM_CLIENTS} clients per round, "
+            f"codec={codec}"
         ),
     )
 
@@ -214,8 +228,91 @@ def _run_wire(suite) -> str:
     )
 
 
-def _tables(suite, worker_grid) -> str:
-    return _run(suite, worker_grid) + "\n\n" + _run_wire(suite)
+def _codec_round_bytes(suite, codec: str, local_config, rounds: int):
+    """Measured (bytes_up + bytes_down) per round, hop-by-hop on the
+    2-worker engine, with the scaling table's participant count.  Round 0
+    includes registration; the warm average over later rounds is what a
+    long session pays."""
+    clients = _make_clients(suite)[:CLIENTS_PER_ROUND]
+    model = build_cnn_model(
+        suite.image_shape, suite.num_classes, rng=np.random.default_rng(0)
+    )
+    strategy = FedAvgStrategy(local_config)
+    state = model.state_dict()
+    tree = SeedTree(0).child("server", "codec-bench")
+    totals = []
+    with ParallelExecutor(num_workers=2, codec=codec) as executor:
+        for round_index in range(rounds):
+            before = executor.wire_stats()
+            seeds = [
+                tree.seed("client", client.client_id, "round", round_index)
+                for client in clients
+            ]
+            updates = executor.run_round(
+                strategy, model, state, clients, round_index, seeds
+            )
+            after = executor.wire_stats()
+            totals.append(
+                (after.bytes_up - before.bytes_up)
+                + (after.bytes_down - before.bytes_down)
+            )
+            state = strategy.aggregate(state, updates, round_index)
+    return totals
+
+
+def _run_codecs(suite) -> str:
+    """Bytes-per-round per codec, from-scratch vs. fine-tune regimes."""
+    rounds = max(3, bench_rounds(4))
+    train = LocalTrainingConfig(batch_size=32)
+    fine_tune = LocalTrainingConfig(batch_size=32, learning_rate=1e-8)
+    warm = {}
+    for codec in CODEC_GRID:
+        warm[codec] = tuple(
+            sum(_codec_round_bytes(suite, codec, config, rounds)[1:]) / (rounds - 1)
+            for config in (train, fine_tune)
+        )
+    base_train, base_tune = warm["identity"]
+    rows = []
+    for codec in CODEC_GRID:
+        codec_train, codec_tune = warm[codec]
+        lossless = codec in ("identity", "delta")
+        rows.append(
+            [
+                codec,
+                f"{codec_train / 1024:.0f}",
+                f"x{base_train / codec_train:.2f}",
+                f"{codec_tune / 1024:.0f}",
+                f"x{base_tune / codec_tune:.2f}",
+                "bit-exact" if lossless else "lossy",
+            ]
+        )
+    return format_table(
+        [
+            "Codec",
+            "train KiB/round",
+            "vs identity",
+            "fine-tune KiB/round",
+            "vs identity",
+            "trace",
+        ],
+        rows,
+        title=(
+            f"Wire codecs — warm bytes/round on 2 workers "
+            f"({CLIENTS_PER_ROUND} participants; fine-tune = tiny updates, "
+            f"where delta's lossless compression pays)"
+        ),
+    )
+
+
+def _tables(suite, worker_grid, codec="identity", codec_tables=True) -> str:
+    """``codec_tables=False`` keeps non-identity CI matrix legs to the
+    scaling table alone — the wire and codec sweeps are codec-independent
+    and would only duplicate the identity leg's output."""
+    parts = [_run(suite, worker_grid, codec=codec)]
+    if codec_tables:
+        parts.append(_run_wire(suite))
+        parts.append(_run_codecs(suite))
+    return "\n\n".join(parts)
 
 
 def test_executor_scaling(benchmark):
@@ -227,11 +324,30 @@ def test_executor_scaling(benchmark):
 
 
 if __name__ == "__main__":
-    smoke = "--smoke" in sys.argv[1:]
-    if smoke:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI scale: fast data, workers {1, 2}",
+    )
+    parser.add_argument(
+        "--codec", default="identity",
+        help="wire codec for the scaling table (CI runs a matrix of these)",
+    )
+    args = parser.parse_args()
+    if args.smoke:
         import os
 
         os.environ.setdefault("REPRO_BENCH_SCALE", "fast")
-    grid = [1, 2] if smoke else WORKER_GRID
+    grid = [1, 2] if args.smoke else WORKER_GRID
     suite = synthetic_pacs(seed=0, samples_per_class=samples_per_class(40))
-    emit("executor_scaling", _tables(suite, grid))
+    name = (
+        "executor_scaling"
+        if args.codec == "identity"
+        else f"executor_scaling_{args.codec.replace('+', '_')}"
+    )
+    emit(
+        name,
+        _tables(
+            suite, grid, codec=args.codec, codec_tables=args.codec == "identity"
+        ),
+    )

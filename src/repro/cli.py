@@ -39,6 +39,7 @@ from repro.eval import (
     run_lodo_protocol,
     run_split_experiment,
 )
+from repro.fl.codec import codec_specs, make_codec
 from repro.fl.executor import EXECUTOR_KINDS
 from repro.fl.strategy import Strategy
 from repro.utils.tables import format_percent, format_table
@@ -73,6 +74,7 @@ def _setting_from_args(args: argparse.Namespace) -> ExperimentSetting:
         seed=args.seed,
         executor=args.executor,
         workers=args.workers,
+        codec=args.codec,
     )
 
 
@@ -111,6 +113,16 @@ def _positive_int(value: str) -> int:
     return number
 
 
+def _codec_spec(value: str) -> str:
+    """Validate a codec pipeline spec (e.g. ``delta``, ``fp16+deflate``) at
+    parse time so a typo is a usage error, not a mid-run traceback."""
+    try:
+        make_codec(value)
+    except (TypeError, ValueError) as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return value
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--suite", choices=sorted(SUITES), required=True)
     parser.add_argument("--method", choices=sorted(METHODS), required=True)
@@ -123,12 +135,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--rounds", type=int, default=20)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
-        "--executor", choices=sorted(EXECUTOR_KINDS), default="serial",
-        help="client-execution engine for each round's local updates",
+        "--executor", choices=sorted(EXECUTOR_KINDS), default="auto",
+        help="client-execution engine for each round's local updates; "
+        "'auto' (default) picks serial or parallel from the per-round "
+        "fan-out",
     )
     parser.add_argument(
         "--workers", type=_positive_int, default=None,
-        help="worker-process count for --executor parallel",
+        help="worker-process count; implies the parallel engine under "
+        "--executor auto",
+    )
+    parser.add_argument(
+        "--codec", type=_codec_spec, default="identity",
+        help="wire codec for weight payloads: one of "
+        f"{', '.join(codec_specs())}, optionally '+deflate' (e.g. "
+        "'fp16+deflate')",
     )
     parser.add_argument(
         "--timing", action="store_true",
@@ -250,8 +271,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if getattr(args, "workers", None) is not None and args.executor != "parallel":
-        parser.error("--workers only applies with --executor parallel")
+    if getattr(args, "workers", None) is not None and args.executor == "serial":
+        parser.error("--workers only applies with --executor parallel (or auto)")
     return args.func(args)
 
 

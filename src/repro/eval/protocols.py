@@ -17,6 +17,7 @@ from repro.data.partition import lodo_splits, ltdo_splits, partition_clients
 from repro.data.synthetic import DomainSuite, LabeledDataset
 from repro.fl.client import Client
 from repro.fl.executor import Executor, make_executor
+from repro.fl.sampling import UniformClientSampler
 from repro.fl.server import FederatedConfig, FederatedResult, FederatedServer
 from repro.fl.strategy import Strategy
 from repro.nn.models import FeatureClassifierModel, build_cnn_model
@@ -39,7 +40,15 @@ ModelFactory = Callable[[np.random.Generator], FeatureClassifierModel]
 @dataclass(frozen=True)
 class ExperimentSetting:
     """Everything that defines one federated DG experiment besides the
-    method itself (so all methods share it exactly)."""
+    method itself (so all methods share it exactly).
+
+    ``executor="auto"`` resolves serial vs. parallel from this setting's
+    own per-round fan-out (see :func:`repro.fl.executor.resolve_executor`);
+    ``codec`` names the wire codec for weight payloads
+    (:mod:`repro.fl.codec`) and reaches both the engine and the
+    :class:`repro.fl.server.FederatedConfig` of every run built from this
+    setting.
+    """
 
     num_clients: int = 20
     clients_per_round: int | float = 0.25
@@ -51,10 +60,29 @@ class ExperimentSetting:
     embed_dim: int = 64
     executor: str = "serial"
     workers: int | None = None
+    codec: str = "identity"
 
-    def make_executor(self) -> Executor:
-        """The client-execution engine this setting asks for."""
-        return make_executor(self.executor, self.workers)
+    def round_participants(self) -> int:
+        """This setting's resolved per-round participant count."""
+        return UniformClientSampler(self.clients_per_round).round_size(
+            self.num_clients
+        )
+
+    def make_executor(self, local_epochs: int = 1) -> Executor:
+        """The client-execution engine this setting asks for.
+
+        ``local_epochs`` feeds the ``"auto"`` crossover heuristic (the
+        per-round workload is participants x local epochs); callers that
+        know the strategy's local config should pass it — the protocol
+        runners do.
+        """
+        return make_executor(
+            self.executor,
+            self.workers,
+            codec=self.codec,
+            participants=self.round_participants(),
+            local_epochs=local_epochs,
+        )
 
     def model_factory(self, suite: DomainSuite) -> ModelFactory:
         def build(rng: np.random.Generator) -> FeatureClassifierModel:
@@ -122,7 +150,9 @@ def run_split_experiment(
         "test": suite.merged(split["test"]),
     }
     owns_executor = executor is None
-    executor = executor or setting.make_executor()
+    executor = executor or setting.make_executor(
+        local_epochs=strategy.local_config.local_epochs
+    )
     server = FederatedServer(
         strategy=strategy,
         clients=clients,
@@ -133,6 +163,7 @@ def run_split_experiment(
             clients_per_round=setting.clients_per_round,
             eval_every=setting.eval_every,
             seed=setting.seed,
+            codec=setting.codec,
         ),
         executor=executor,
     )
@@ -162,7 +193,10 @@ def run_lodo_protocol(
     every split.
     """
     outcomes: dict[str, SplitOutcome] = {}
-    with setting.make_executor() as executor:
+    # Probe one (throwaway) strategy for its local-epoch count so the
+    # "auto" engine choice sees the real per-round workload.
+    probe_epochs = strategy_factory().local_config.local_epochs
+    with setting.make_executor(local_epochs=probe_epochs) as executor:
         for split in lodo_splits(suite.num_domains):
             held_out = suite.domain_names[split["val"][0]]
             outcomes[held_out] = run_split_experiment(
@@ -178,7 +212,8 @@ def run_ltdo_protocol(
 ) -> dict[str, SplitOutcome]:
     """Leave-Two-Domains-Out (paper Table I): keyed by the validation domain."""
     outcomes: dict[str, SplitOutcome] = {}
-    with setting.make_executor() as executor:
+    probe_epochs = strategy_factory().local_config.local_epochs
+    with setting.make_executor(local_epochs=probe_epochs) as executor:
         for split in ltdo_splits(suite.num_domains):
             val_domain = suite.domain_names[split["val"][0]]
             outcomes[val_domain] = run_split_experiment(

@@ -6,6 +6,7 @@ methods plug in through :class:`repro.fl.Strategy`.
 """
 
 from repro.fl.client import Client, ScratchDelta, ScratchSpace
+from repro.fl.codec import Codec, Payload, codec_specs, make_codec
 from repro.fl.communication import (
     CommunicationModel,
     MeasuredCommunication,
@@ -19,6 +20,7 @@ from repro.fl.executor import (
     SerialExecutor,
     WireStats,
     make_executor,
+    resolve_executor,
 )
 from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.sampling import UniformClientSampler
@@ -30,11 +32,15 @@ from repro.fl.timing import PhaseTimer, TimingReport
 __all__ = [
     "Client",
     "ClientUpdate",
+    "Codec",
     "CommunicationModel",
     "MeasuredCommunication",
+    "Payload",
     "ScratchDelta",
     "ScratchSpace",
     "WireStats",
+    "codec_specs",
+    "make_codec",
     "method_communication",
     "evaluate_accuracy",
     "evaluate_loss",
@@ -42,6 +48,7 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "make_executor",
+    "resolve_executor",
     "RoundRecord",
     "RunHistory",
     "UniformClientSampler",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.fl.codec import analytic_scalar_bytes
 from repro.fl.timing import TimingReport
 from repro.nn.models import FeatureClassifierModel
 
@@ -95,13 +96,24 @@ def method_communication(
     num_classes: int = 7,
     num_clients: int = 20,
     styles_per_client: int = 1,
+    codec: str = "identity",
 ) -> CommunicationModel:
     """Payload model for each method in the paper's line-up.
 
     ``style_dim`` is ``2d`` (mean+std per encoder channel); prototypes are
     ``embed_dim`` floats per class.
+
+    ``codec`` adjusts the *weight* component for the wire codec actually in
+    use (see :mod:`repro.fl.codec`): fp16 ships 2 bytes per scalar, qint8
+    one, and ``delta``/``deflate`` stay at the dense bound because their
+    compression is data-dependent — that keeps this model an honest upper
+    bound next to the measured columns, never an optimistic estimate.
+    Method-specific side payloads (styles, prototypes) are not
+    codec-encoded and keep their float64 size.
     """
-    weights = model.num_parameters() * _BYTES_PER_SCALAR
+    weights = int(
+        model.num_parameters() * analytic_scalar_bytes(codec, _BYTES_PER_SCALAR)
+    )
     style = style_dim * _BYTES_PER_SCALAR
     prototypes = model.embed_dim * num_classes * _BYTES_PER_SCALAR
 

@@ -27,21 +27,34 @@ methods (§IV-B-3, Fig. 4b): clients keep their data, only deltas travel.
 
 1. **Registration** (once per client per pool lifetime): the full
    :class:`Client` — dataset and scratch included — ships to its home
-   worker, then both sides mark the scratch clean.
+   worker, then both sides mark the scratch clean.  The codec (below) is
+   negotiated here: its spec travels with the worker init, so both
+   endpoints build the same pipeline before any state crosses.
 2. **Broadcast** (once per participating worker per round): the strategy
-   blob and the global weights; workers cache the strategy decode keyed on
-   the blob bytes.
+   blob and the codec-encoded global weights; workers cache the strategy
+   decode keyed on the blob bytes.
 3. **Task** (per participant per round): ``(client_id, round_index, seed)``
    plus a server→worker scratch delta, ``None`` unless server-side code
    touched the client's scratch between rounds.
 4. **Delta upload** (per participant per round): the
-   :class:`ClientUpdate`, whose ``scratch_delta`` carries only the scratch
-   keys the local update wrote or removed — PARDON's style-transfer cache
-   crosses the wire once, not every round.
+   :class:`ClientUpdate`, whose ``state`` is codec-encoded and whose
+   ``scratch_delta`` carries only the scratch keys the local update wrote
+   or removed — PARDON's style-transfer cache crosses the wire once, not
+   every round.
 
-Every hop is byte-counted in :class:`WireStats`; the server folds the
-counters into :class:`repro.fl.timing.TimingReport` so benches can print
-measured traffic next to the analytic :mod:`repro.fl.communication` model.
+Weight payloads in both directions additionally pass through a pluggable
+**codec** (:mod:`repro.fl.codec`): ``identity`` ships raw state dicts
+(the historical wire), ``delta`` ships lossless compressed diffs against
+reference states both endpoints hold (workers keep the previous broadcast;
+the server keeps each client's last acknowledged upload), and ``fp16`` /
+``qint8`` quantize.  Stateful codec references reset whenever their
+endpoint resets — pool rebuilds clear every reference, and re-registering
+a client clears that client's upload chain on both sides.
+
+Every hop is byte-counted *post-codec* in :class:`WireStats`; the server
+folds the counters into :class:`repro.fl.timing.TimingReport` so benches
+can print measured traffic next to the analytic
+:mod:`repro.fl.communication` model.
 """
 
 from __future__ import annotations
@@ -58,6 +71,7 @@ import multiprocessing
 import numpy as np
 
 from repro.fl.client import Client, ScratchDelta
+from repro.fl.codec import Codec, Payload, make_codec
 from repro.nn.serialize import StateDict, decode_payload, encode_payload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -71,10 +85,19 @@ __all__ = [
     "ParallelExecutor",
     "WireStats",
     "make_executor",
+    "resolve_executor",
     "EXECUTOR_KINDS",
+    "AUTO_CROSSOVER_TASKS",
 ]
 
-EXECUTOR_KINDS = ("serial", "parallel")
+EXECUTOR_KINDS = ("auto", "serial", "parallel")
+
+#: ``executor="auto"`` crossover: per-round local-update tasks
+#: (participants x local epochs) at or above which the process pool's
+#: dispatch overhead amortizes and the parallel engine wins wall-clock.
+#: Below it (the ROADMAP's "tiny local epochs at bench scale"), serial is
+#: faster because pool spin-up and per-round broadcasts dominate.
+AUTO_CROSSOVER_TASKS = 16
 
 
 @dataclass
@@ -95,7 +118,16 @@ class ClientUpdate:
     update reproduces additions, overwrites, and deletions alike.
     ``train_seconds`` is the worker-measured wall clock of the update, so
     the timing report stays fair when updates overlap.
+
+    On the parallel engine's upload hop, ``state`` transiently holds the
+    codec :class:`repro.fl.codec.Payload` instead of a state dict; the
+    server decodes it before anything else sees the update.
+    ``__wire_oob__`` opts the record into the serializer's protocol-5
+    out-of-band framing, so every array it carries — wire tensors, FPL's
+    prototype payload, scratch-delta values — decodes as a zero-copy view.
     """
+
+    __wire_oob__ = True
 
     client_id: int
     num_samples: int
@@ -176,8 +208,19 @@ class Executor:
     ``participants`` and ``seeds`` are aligned; ``model`` is the server's
     architecture template (serial engines train on it directly, parallel
     engines clone it per worker).  Implementations must return one
-    :class:`ClientUpdate` per participant, in the same order.
+    :class:`ClientUpdate` per participant, in the same order, with decoded
+    (post-codec) states.
+
+    ``codec`` is the wire codec for weight payloads (a spec string or a
+    built :class:`repro.fl.codec.Codec`).  Engines must keep the round
+    trace *codec-invariant for lossless codecs* and *engine-invariant for
+    every codec*: an in-process engine reproduces a lossy wire by
+    round-tripping states through the codec, exactly as a worker would see
+    them.
     """
+
+    def __init__(self, codec: "str | Codec" = "identity") -> None:
+        self.codec = make_codec(codec)
 
     def run_round(
         self,
@@ -212,6 +255,12 @@ class SerialExecutor(Executor):
     The workspace pattern means zero copies: the global weights are loaded
     into ``model`` before each participant, so state never leaks between
     clients through the model object.
+
+    There is no wire, so lossless codecs (identity, delta) are a strict
+    no-op — states decode bit-exactly, and skipping the round-trip is what
+    keeps this engine zero-copy.  Lossy codecs *are* round-tripped (one
+    broadcast round-trip per round, one upload round-trip per update) so a
+    quantized run traces identically here and on the parallel engine.
     """
 
     def run_round(
@@ -223,17 +272,23 @@ class SerialExecutor(Executor):
         round_index: int,
         seeds: Sequence[int],
     ) -> list[ClientUpdate]:
+        # What a worker would train from: identical to global_state for
+        # lossless codecs, the dequantized broadcast for lossy ones.
+        wire_state = self.codec.roundtrip(global_state)
         updates = []
         for client, seed in zip(participants, seeds):
-            model.load_state_dict(global_state)
+            model.load_state_dict(wire_state)
             # Same sync point the parallel engine has before each task: any
             # server-side scratch edits are "shipped" to the training side —
             # a no-op in-process — so the upload delta carries only what the
             # update itself writes, identically on every engine.
             client.scratch.collect_delta()
-            updates.append(
-                _timed_local_update(strategy, client, model, round_index, seed)
-            )
+            update = _timed_local_update(strategy, client, model, round_index, seed)
+            if not self.codec.lossless:
+                # Mirror the upload hop: the server-side aggregation must
+                # consume exactly what a decoded wire upload would hold.
+                update.state = self.codec.roundtrip(update.state)
+            updates.append(update)
         return updates
 
 
@@ -245,19 +300,30 @@ class SerialExecutor(Executor):
 # module globals without any cross-worker coordination.
 
 _WORKER_MODEL: "FeatureClassifierModel | None" = None
+_WORKER_CODEC: Codec | None = None
 _WORKER_STRATEGY_BLOB: bytes | None = None
 _WORKER_STRATEGY: "Strategy | None" = None
 _WORKER_CLIENTS: dict[int, Client] = {}
 _WORKER_STATE: StateDict | None = None
 _WORKER_ROUND: int | None = None
+# Codec reference states (stateful codecs only): the previous decoded
+# broadcast, and each resident client's last uploaded state.  They advance
+# in lockstep with the server-side chains because lossless decoding is
+# bit-exact — that invariant is why stateful codecs must be lossless.
+_WORKER_BCAST_REF: StateDict | None = None
+_WORKER_UPLOAD_REFS: dict[int, StateDict] = {}
 
 
-def _worker_init(model_blob: bytes) -> None:
-    global _WORKER_MODEL, _WORKER_STATE, _WORKER_ROUND
+def _worker_init(model_blob: bytes, codec_spec: str) -> None:
+    global _WORKER_MODEL, _WORKER_CODEC, _WORKER_STATE, _WORKER_ROUND
+    global _WORKER_BCAST_REF
     _WORKER_MODEL = decode_payload(model_blob)
+    _WORKER_CODEC = make_codec(codec_spec)  # the negotiated wire codec
     _WORKER_CLIENTS.clear()  # fork may inherit a sibling pool's module state
+    _WORKER_UPLOAD_REFS.clear()
     _WORKER_STATE = None
     _WORKER_ROUND = None
+    _WORKER_BCAST_REF = None
 
 
 def _worker_register(clients_blob: bytes) -> int:
@@ -266,6 +332,9 @@ def _worker_register(clients_blob: bytes) -> int:
     for client in clients:
         client.scratch.mark_clean()  # registration is the sync point
         _WORKER_CLIENTS[client.client_id] = client
+        # A fresh resident starts a fresh upload-reference chain; the
+        # server drops its copy at the same point.
+        _WORKER_UPLOAD_REFS.pop(client.client_id, None)
     return len(clients)
 
 
@@ -280,10 +349,13 @@ def _worker_strategy(strategy_blob: bytes) -> "Strategy":
 def _worker_broadcast(
     strategy_blob: bytes, state_blob: bytes, round_index: int
 ) -> None:
-    """Install one round's strategy + global weights for this worker."""
-    global _WORKER_STATE, _WORKER_ROUND
+    """Install one round's strategy + codec-decoded weights for this worker."""
+    global _WORKER_STATE, _WORKER_ROUND, _WORKER_BCAST_REF
     _worker_strategy(strategy_blob)
-    _WORKER_STATE = decode_payload(state_blob)
+    payload: Payload = decode_payload(state_blob)
+    _WORKER_STATE = _WORKER_CODEC.decode(payload, _WORKER_BCAST_REF)
+    if _WORKER_CODEC.stateful:
+        _WORKER_BCAST_REF = _WORKER_STATE
     _WORKER_ROUND = round_index
 
 
@@ -305,6 +377,13 @@ def _run_resident_task(task: tuple[int, int, int, bytes | None]) -> bytes:
     update = _timed_local_update(
         _WORKER_STRATEGY, client, _WORKER_MODEL, round_index, seed
     )
+    # Codec-encode the upload; ``update.state`` carries the Payload across
+    # the wire and the server restores a decoded state before anyone else
+    # sees the update.
+    state = update.state
+    update.state = _WORKER_CODEC.encode(state, _WORKER_UPLOAD_REFS.get(client_id))
+    if _WORKER_CODEC.stateful:
+        _WORKER_UPLOAD_REFS[client_id] = state
     return encode_payload(update)
 
 
@@ -333,6 +412,13 @@ class ParallelExecutor(Executor):
     start_method:
         ``multiprocessing`` start method; defaults to ``fork`` when the
         platform offers it.
+    codec:
+        Wire codec for weight payloads (spec string or built
+        :class:`repro.fl.codec.Codec`).  The spec is shipped to workers at
+        pool build, so both endpoints run the same pipeline.  A stateful
+        codec (``delta``) keeps one reference state per worker (the last
+        broadcast) and per client (the last acknowledged upload) on each
+        side — O(model) memory per endpoint, the price of shipping diffs.
 
     Each worker slot is one long-lived process (a single-worker
     :class:`~concurrent.futures.ProcessPoolExecutor`), and every client is
@@ -355,8 +441,12 @@ class ParallelExecutor(Executor):
     """
 
     def __init__(
-        self, num_workers: int | None = None, start_method: str | None = None
+        self,
+        num_workers: int | None = None,
+        start_method: str | None = None,
+        codec: "str | Codec" = "identity",
     ) -> None:
+        super().__init__(codec=codec)
         if num_workers is not None and num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = num_workers or _default_workers()
@@ -369,6 +459,12 @@ class ParallelExecutor(Executor):
         # re-registration, and a dead object's id must not be recycled into
         # a false "already resident".
         self._resident: dict[int, Client] = {}
+        # Server halves of the stateful-codec reference chains (see the
+        # worker globals): worker slot -> last broadcast state, and
+        # client_id -> last decoded upload.  Populated only when
+        # ``codec.stateful``.
+        self._bcast_refs: dict[int, StateDict] = {}
+        self._upload_refs: dict[int, StateDict] = {}
 
     @staticmethod
     def _architecture_of(model: "FeatureClassifierModel") -> tuple:
@@ -423,7 +519,7 @@ class ParallelExecutor(Executor):
                     max_workers=1,
                     mp_context=context,
                     initializer=_worker_init,
-                    initargs=(model_blob,),
+                    initargs=(model_blob, self.codec.spec),
                 )
                 for _ in range(self.num_workers)
             ]
@@ -452,6 +548,9 @@ class ParallelExecutor(Executor):
                 # deltas travel in either direction.
                 client.scratch.mark_clean()
                 self._resident[client.client_id] = client
+                # ...and the worker-side chain reset: a fresh resident's
+                # first upload is a full frame again.
+                self._upload_refs.pop(client.client_id, None)
         for future in futures:
             future.result()  # surface registration errors before any task
 
@@ -467,12 +566,22 @@ class ParallelExecutor(Executor):
         pools = self._ensure_pools(model)
         self._register_new_participants(pools, participants)
 
-        # One broadcast per participating worker, not per task.
+        # One broadcast per participating worker, not per task.  The state
+        # is codec-encoded against each worker's reference chain; workers
+        # whose chains point at the same state (the common case — every
+        # participating worker saw the last broadcast) share one encode.
         strategy_blob = encode_payload(strategy)
-        state_blob = encode_payload(global_state)
         homes = {self._home(client.client_id) for client in participants}
+        encoded_for_ref: dict[int, bytes] = {}
         broadcast_futures = []
         for home in sorted(homes):
+            ref = self._bcast_refs.get(home)
+            state_blob = encoded_for_ref.get(id(ref))
+            if state_blob is None:
+                state_blob = encode_payload(self.codec.encode(global_state, ref))
+                encoded_for_ref[id(ref)] = state_blob
+            if self.codec.stateful:
+                self._bcast_refs[home] = global_state
             self.wire.broadcast_bytes += len(strategy_blob) + len(state_blob)
             broadcast_futures.append(
                 pools[home].submit(
@@ -506,6 +615,23 @@ class ParallelExecutor(Executor):
             blob = future.result()
             self.wire.upload_bytes += len(blob)
             update: ClientUpdate = decode_payload(blob)
+            # Restore the codec-encoded state before anything downstream
+            # (aggregation, benches) touches the update.
+            decoded = self.codec.decode(
+                update.state, self._upload_refs.get(update.client_id)
+            )
+            update.state = decoded
+            if self.codec.stateful:
+                self._upload_refs[update.client_id] = decoded
+            # The out-of-band decode hands back read-only views into the
+            # upload blob.  That is fine for ``state`` (dropped after
+            # aggregation), but scratch outlives the round: materialize the
+            # delta so server-side scratch holds owned, writable values
+            # instead of pinning every client's blob for the session.
+            if update.scratch_delta:
+                update.scratch_delta = pickle.loads(
+                    pickle.dumps(update.scratch_delta, pickle.HIGHEST_PROTOCOL)
+                )
             # Sync the server-side copy; applying (rather than recording)
             # keeps its dirty set empty, so nothing bounces back next round.
             client.scratch.apply_delta(update.scratch_delta)
@@ -519,24 +645,72 @@ class ParallelExecutor(Executor):
             self._pools = None
             self._pool_architecture = None
         self._resident.clear()
+        # Reference chains die with their endpoints: a rebuilt pool starts
+        # from full frames on both sides.
+        self._bcast_refs.clear()
+        self._upload_refs.clear()
 
 
-def make_executor(kind: str = "serial", workers: int | None = None) -> Executor:
-    """Build an engine from the CLI/bench knobs (``--executor``/``--workers``).
+def resolve_executor(
+    kind: str,
+    participants: int | None = None,
+    local_epochs: int = 1,
+    cpu_count: int | None = None,
+) -> str:
+    """Resolve ``"auto"`` to a concrete engine kind.
 
-    A ``workers`` count with ``kind="serial"`` is rejected rather than
-    silently ignored — it almost always means the caller wanted parallel
-    execution and forgot to say so.
+    The crossover heuristic weighs the per-round fan-out (population
+    sampled per round x local-epoch cost) against the process pool's fixed
+    overhead: parallel pays only when there are at least
+    :data:`AUTO_CROSSOVER_TASKS` local-update task units per round *and*
+    the machine has a second core to run them on.  With no participant
+    information the safe answer is serial — it is bit-identical anyway.
     """
+    if kind != "auto":
+        if kind not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}"
+            )
+        return kind
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    if cpus < 2 or participants is None:
+        return "serial"
+    task_units = participants * max(1, local_epochs)
+    return "parallel" if task_units >= AUTO_CROSSOVER_TASKS else "serial"
+
+
+def make_executor(
+    kind: str = "serial",
+    workers: int | None = None,
+    codec: "str | Codec" = "identity",
+    participants: int | None = None,
+    local_epochs: int = 1,
+) -> Executor:
+    """Build an engine from the CLI/bench knobs
+    (``--executor``/``--workers``/``--codec``).
+
+    ``kind="auto"`` picks the engine via :func:`resolve_executor` from the
+    optional ``participants``/``local_epochs`` hints; an explicit
+    ``workers`` count under ``auto`` is read as intent and forces the
+    parallel engine.  A ``workers`` count with ``kind="serial"`` is
+    rejected rather than silently ignored — it almost always means the
+    caller wanted parallel execution and forgot to say so.
+    """
+    if kind == "auto":
+        kind = (
+            "parallel"
+            if workers is not None
+            else resolve_executor(kind, participants, local_epochs)
+        )
     if kind == "serial":
         if workers is not None:
             raise ValueError(
                 "workers only applies to the parallel executor; "
                 "pass kind='parallel' or drop the workers count"
             )
-        return SerialExecutor()
+        return SerialExecutor(codec=codec)
     if kind == "parallel":
-        return ParallelExecutor(num_workers=workers)
+        return ParallelExecutor(num_workers=workers, codec=codec)
     raise ValueError(
         f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}"
     )

@@ -21,6 +21,7 @@ import numpy as np
 from repro.data.synthetic import LabeledDataset
 from repro.fl.evaluation import evaluate_accuracy
 from repro.fl.client import Client
+from repro.fl.codec import make_codec
 from repro.fl.executor import Executor, SerialExecutor
 from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.sampling import UniformClientSampler
@@ -42,12 +43,19 @@ class FederatedConfig:
     ``clients_per_round`` follows the sampler's convention: an ``int`` is an
     absolute participant count (>= 1), a ``float`` is the participation
     fraction in (0, 1].
+
+    ``codec`` names the wire codec for weight payloads (see
+    :mod:`repro.fl.codec`): it configures the server-owned default engine,
+    and a caller-supplied engine must already carry the same codec — the
+    codec changes what clients train from (for lossy specs) and so belongs
+    to the experiment definition, not just the transport.
     """
 
     num_rounds: int = 10
     clients_per_round: int | float = 0.2
     eval_every: int = 1
     seed: int = 0
+    codec: str = "identity"
 
     def __post_init__(self) -> None:
         if self.num_rounds < 1:
@@ -58,6 +66,8 @@ class FederatedConfig:
         # of truth for the count-vs-fraction convention); constructing one
         # surfaces bad values at config time with the sampler's own errors.
         UniformClientSampler(self.clients_per_round)
+        # Same pattern for the codec spec: fail at config time, not mid-run.
+        make_codec(self.codec)
 
 
 @dataclass
@@ -93,9 +103,11 @@ class FederatedServer:
         Round-loop parameters.
     executor:
         Client-execution engine; defaults to a fresh
-        :class:`repro.fl.executor.SerialExecutor`.  Engines created by the
-        caller are left open after :meth:`run` (so one pool can serve many
-        runs); the default engine is owned and closed by the server.
+        :class:`repro.fl.executor.SerialExecutor` carrying
+        ``config.codec``.  Engines created by the caller are left open
+        after :meth:`run` (so one pool can serve many runs) but must agree
+        with ``config.codec`` — a mismatch would silently change what
+        clients train from, so it is rejected at construction.
     """
 
     def __init__(
@@ -115,7 +127,13 @@ class FederatedServer:
         self.eval_sets = eval_sets
         self.config = config
         self._owns_executor = executor is None
-        self.executor = executor or SerialExecutor()
+        self.executor = executor or SerialExecutor(codec=config.codec)
+        if self.executor.codec.spec != make_codec(config.codec).spec:
+            raise ValueError(
+                f"executor carries codec {self.executor.codec.spec!r} but "
+                f"the config asks for {config.codec!r}; build the engine "
+                f"with the config's codec (make_executor(..., codec=...))"
+            )
         self.sampler = UniformClientSampler(config.clients_per_round)
         self._seed_tree = SeedTree(config.seed).child("server", strategy.name)
 

@@ -161,6 +161,13 @@ class Strategy:
         """Merge client uploads into the next global state.
 
         Default: data-size-weighted FedAvg (paper §III-B Aggregation).
+
+        ``update.state`` is always a *decoded* state dict: the execution
+        engine strips any wire codec (delta reconstruction, dequantized
+        fp16/qint8) before aggregation runs, so strategies never see the
+        wire format.  Decoded tensors may be read-only zero-copy views —
+        treat them as immutable and allocate fresh outputs, as
+        :func:`repro.nn.serialize.average_states` does.
         """
         if not updates:
             return global_state

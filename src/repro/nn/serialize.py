@@ -127,10 +127,15 @@ def state_allclose(a: StateDict, b: StateDict, atol: float = 1e-10) -> bool:
     return all(np.allclose(a[key], b[key], atol=atol) for key in a)
 
 
-# State dicts get a pickle-protocol-5 fast path: array bodies leave the
-# pickle stream as out-of-band buffers and are framed after the (tiny) head,
-# so encoding skips pickle's per-array framing and *decoding* hands numpy
-# zero-copy views into the received blob instead of fresh allocations.
+# Array-carrying payloads get a pickle-protocol-5 fast path: array bodies
+# leave the pickle stream as out-of-band buffers and are framed after the
+# (tiny) head, so encoding skips pickle's per-array framing and *decoding*
+# hands numpy zero-copy views into the received blob instead of fresh
+# allocations.  Eligible are state dicts, bare arrays, and any type that
+# opts in with a ``__wire_oob__ = True`` class attribute (the codec
+# :class:`repro.fl.codec.Payload` and the executor's ``ClientUpdate`` — the
+# latter is what puts FPL's prototype arrays and scratch-delta tensors out
+# of band on the upload hop).
 _OOB_MAGIC = b"RPB5"
 _OOB_LEN = struct.Struct("<Q")
 
@@ -146,6 +151,14 @@ def _is_state_dict(obj: Any) -> bool:
     )
 
 
+def _wants_oob(obj: Any) -> bool:
+    return (
+        isinstance(obj, np.ndarray)
+        or _is_state_dict(obj)
+        or bool(getattr(type(obj), "__wire_oob__", False))
+    )
+
+
 def encode_payload(obj: Any) -> bytes:
     """Serialize a broadcast payload (model template, strategy state) to bytes.
 
@@ -154,12 +167,13 @@ def encode_payload(obj: Any) -> bytes:
     offending object at dispatch time.  (Task arguments are pickled by the
     process pool itself and fail with the pool's own traceback instead.)
 
-    :class:`StateDict`-shaped objects take the out-of-band fast path; both
-    framings decode through :func:`decode_payload`, which dispatches on the
-    leading magic bytes (a plain pickle stream can never start with them).
+    :class:`StateDict`-shaped objects, bare arrays, and ``__wire_oob__``
+    types take the out-of-band fast path; both framings decode through
+    :func:`decode_payload`, which dispatches on the leading magic bytes (a
+    plain pickle stream can never start with them).
     """
     try:
-        if _is_state_dict(obj):
+        if _wants_oob(obj):
             buffers: list[pickle.PickleBuffer] = []
             head = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
             parts: list[bytes | memoryview] = [

@@ -24,7 +24,9 @@ from repro.fl import (
     ParallelExecutor,
     SerialExecutor,
     make_executor,
+    resolve_executor,
 )
+from repro.fl.executor import AUTO_CROSSOVER_TASKS
 from repro.fl.timing import PhaseTimer
 from repro.nn import build_mlp_model
 from repro.utils.rng import SeedTree
@@ -111,6 +113,69 @@ class TestMakeExecutor:
     def test_rejects_zero_workers(self):
         with pytest.raises(ValueError):
             ParallelExecutor(num_workers=0)
+
+
+class TestAutoExecutor:
+    """The executor="auto" crossover heuristic (ROADMAP open item): pick
+    parallel only when the per-round fan-out amortizes the pool overhead."""
+
+    def test_concrete_kinds_pass_through(self):
+        assert resolve_executor("serial") == "serial"
+        assert resolve_executor("parallel") == "parallel"
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            resolve_executor("quantum")
+
+    def test_small_fan_out_resolves_serial(self):
+        """Bench scale — few participants, one tiny local epoch — is where
+        the profile showed pool overhead eating the speedup."""
+        assert (
+            resolve_executor("auto", participants=4, local_epochs=1, cpu_count=8)
+            == "serial"
+        )
+
+    def test_large_fan_out_resolves_parallel(self):
+        assert (
+            resolve_executor(
+                "auto", participants=AUTO_CROSSOVER_TASKS, cpu_count=8
+            )
+            == "parallel"
+        )
+
+    def test_local_epochs_multiply_the_workload(self):
+        """Population size x local-epoch cost: 4 participants are below the
+        crossover alone, but not when each trains 8 epochs."""
+        assert (
+            resolve_executor("auto", participants=4, local_epochs=8, cpu_count=8)
+            == "parallel"
+        )
+
+    def test_single_core_always_serial(self):
+        assert (
+            resolve_executor("auto", participants=1000, cpu_count=1) == "serial"
+        )
+
+    def test_no_information_defaults_to_serial(self):
+        assert resolve_executor("auto", cpu_count=8) == "serial"
+
+    def test_make_executor_auto_without_hints_is_serial(self):
+        assert isinstance(make_executor("auto"), SerialExecutor)
+
+    def test_make_executor_auto_with_workers_forces_parallel(self):
+        executor = make_executor("auto", workers=2)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.num_workers == 2
+        executor.close()
+
+    def test_setting_resolves_auto_from_its_own_fan_out(self):
+        from repro.eval import ExperimentSetting
+
+        small = ExperimentSetting(
+            num_clients=20, clients_per_round=0.25, executor="auto"
+        )
+        assert small.round_participants() == 5
+        assert isinstance(small.make_executor(), SerialExecutor)
 
 
 class TestDeterminism:

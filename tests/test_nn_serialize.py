@@ -247,3 +247,52 @@ class TestPayloadCodec:
     def test_unserializable_payload_names_the_offender(self):
         with pytest.raises(TypeError, match="generator"):
             encode_payload((x for x in range(3)))
+
+
+class TestBareArrayFastPath:
+    """Satellite: bare ndarrays and ``__wire_oob__`` opt-ins take the
+    protocol-5 out-of-band path too (FPL's prototype arrays ride inside a
+    ``__wire_oob__`` ClientUpdate and previously paid in-band pickling)."""
+
+    def test_bare_array_takes_the_fast_path(self, rng):
+        array = rng.normal(size=(32, 8))
+        blob = encode_payload(array)
+        assert blob[:4] == b"RPB5"
+        np.testing.assert_array_equal(decode_payload(blob), array)
+
+    def test_bare_array_decodes_zero_copy(self, rng):
+        """Zero-copy contract: the decoded array is a read-only view
+        backed by the received blob, not a fresh allocation."""
+        array = rng.normal(size=(16, 4))
+        blob = encode_payload(array)
+        decoded = decode_payload(blob)
+        assert not decoded.flags.writeable
+        assert np.shares_memory(
+            decoded, np.frombuffer(blob, dtype=np.uint8)
+        )
+
+    def test_wire_oob_opt_in_carries_nested_arrays_out_of_band(self, rng):
+        """An opted-in record (here: the executor's ClientUpdate) puts every
+        nested array — including non-state-dict payload entries like FPL's
+        integer-keyed prototypes — out of band, decoded zero-copy."""
+        from repro.fl.executor import ClientUpdate
+
+        update = ClientUpdate(
+            client_id=3,
+            num_samples=10,
+            state={"w": rng.normal(size=(8, 2))},
+            loss=0.5,
+            payload={"prototypes": {0: rng.normal(size=4), 1: rng.normal(size=4)}},
+        )
+        blob = encode_payload(update)
+        assert blob[:4] == b"RPB5"
+        decoded = decode_payload(blob)
+        np.testing.assert_array_equal(decoded.state["w"], update.state["w"])
+        for label, proto in update.payload["prototypes"].items():
+            clone = decoded.payload["prototypes"][label]
+            np.testing.assert_array_equal(clone, proto)
+            assert not clone.flags.writeable  # out-of-band view, not a copy
+
+    def test_non_contiguous_bare_array_round_trips(self, rng):
+        array = np.asarray(rng.normal(size=(6, 4))).T  # F-contiguous
+        np.testing.assert_array_equal(decode_payload(encode_payload(array)), array)
