@@ -25,10 +25,21 @@ check: ``delta`` sits near the lossless entropy bound (~1.3x) from scratch
 and clears 2x fine-tuning; ``fp16``/``qint8`` cut weight bytes by 4x/8x in
 both regimes (lossy).
 
+The fourth table measures the wire transports (``repro.fl.transport``):
+per-round downlink vs. the fan-out-deduplicated unique floor, and the
+broadcast encode + dispatch + overlapped-decode wall clock, per transport
+and worker count.  Shape to check: pipe's down bytes scale with workers
+while shm's sit on the unique floor (the blob is written once per round),
+and shm's broadcast wall clock is at or below pipe's at 4 workers (the
+per-worker pickle+pipe copies are what shm deletes).  The second/third
+tables pin ``transport="pipe"`` so their per-worker byte stories stay
+comparable across releases.
+
 Run directly for the full table, or with ``--smoke`` for the CI-scale
 variant (fast data scale, workers {1, 2}).  ``--codec SPEC`` runs the
 scaling table under that wire codec — the CI codec matrix uses it to check
-serial/parallel trace identity per codec.
+serial/parallel trace identity per codec — and ``--transport SPEC`` runs
+it under that wire transport (the CI shm leg).
 """
 
 from __future__ import annotations
@@ -68,7 +79,10 @@ def _make_clients(suite):
     return [Client(i, d) for i, d in enumerate(partition.client_datasets)]
 
 
-def _run_with_workers(suite, rounds: int, workers: int, strategy=None, codec="identity"):
+def _run_with_workers(
+    suite, rounds: int, workers: int, strategy=None, codec="identity",
+    transport="auto",
+):
     clients = _make_clients(suite)
     model = build_cnn_model(
         suite.image_shape, suite.num_classes, rng=np.random.default_rng(0)
@@ -77,6 +91,7 @@ def _run_with_workers(suite, rounds: int, workers: int, strategy=None, codec="id
         "serial" if workers == 1 else "parallel",
         workers=None if workers == 1 else workers,
         codec=codec,
+        transport=transport,
     )
     server = FederatedServer(
         strategy=strategy or FedAvgStrategy(LocalTrainingConfig(batch_size=32)),
@@ -85,7 +100,7 @@ def _run_with_workers(suite, rounds: int, workers: int, strategy=None, codec="id
         eval_sets={"test": suite.datasets[3]},
         config=FederatedConfig(
             num_rounds=rounds, clients_per_round=CLIENTS_PER_ROUND, seed=0,
-            codec=codec,
+            codec=codec, transport=transport,
         ),
         executor=executor,
     )
@@ -108,12 +123,14 @@ def _trace_of(result):
     )
 
 
-def _run(suite, worker_grid, codec="identity") -> str:
+def _run(suite, worker_grid, codec="identity", transport="auto") -> str:
     rounds = bench_rounds(4)
     rows = []
     baseline_trace = None
     for workers in worker_grid:
-        result, _, _ = _run_with_workers(suite, rounds, workers, codec=codec)
+        result, _, _ = _run_with_workers(
+            suite, rounds, workers, codec=codec, transport=transport
+        )
         timing = result.timing
         trace = _trace_of(result)
         if baseline_trace is None:
@@ -143,7 +160,7 @@ def _run(suite, worker_grid, codec="identity") -> str:
         title=(
             f"Executor scaling — {rounds} rounds, "
             f"{CLIENTS_PER_ROUND}/{NUM_CLIENTS} clients per round, "
-            f"codec={codec}"
+            f"codec={codec}, transport={transport}"
         ),
     )
 
@@ -182,7 +199,7 @@ def _legacy_round_bytes(result, clients) -> tuple[float, float]:
 def _run_wire(suite) -> str:
     rounds = max(3, bench_rounds(4))
     result, executor, clients = _run_with_workers(
-        suite, rounds, 2, strategy=PardonStrategy()
+        suite, rounds, 2, strategy=PardonStrategy(), transport="pipe"
     )
     wire = executor.wire_stats()
     legacy_down, legacy_up = _legacy_round_bytes(result, clients)
@@ -241,7 +258,7 @@ def _codec_round_bytes(suite, codec: str, local_config, rounds: int):
     state = model.state_dict()
     tree = SeedTree(0).child("server", "codec-bench")
     totals = []
-    with ParallelExecutor(num_workers=2, codec=codec) as executor:
+    with ParallelExecutor(num_workers=2, codec=codec, transport="pipe") as executor:
         for round_index in range(rounds):
             before = executor.wire_stats()
             seeds = [
@@ -304,14 +321,125 @@ def _run_codecs(suite) -> str:
     )
 
 
-def _tables(suite, worker_grid, codec="identity", codec_tables=True) -> str:
-    """``codec_tables=False`` keeps non-identity CI matrix legs to the
-    scaling table alone — the wire and codec sweeps are codec-independent
-    and would only duplicate the identity leg's output."""
-    parts = [_run(suite, worker_grid, codec=codec)]
-    if codec_tables:
+def _transport_rounds(
+    suite, transport: str, workers: int, model, init_state, rounds: int
+):
+    """Run ``rounds`` FedAvg rounds on one engine configuration and return
+    (final aggregated state, executor) for the transport sweep.
+
+    ``init_state`` is snapshotted by the caller: the serial engine trains
+    on ``model`` in place, so the model's own weights are not a stable
+    starting point across configurations."""
+    clients = _make_clients(suite)[:CLIENTS_PER_ROUND]
+    strategy = FedAvgStrategy(LocalTrainingConfig(batch_size=32))
+    state = {key: value.copy() for key, value in init_state.items()}
+    tree = SeedTree(0).child("server", "transport-bench")
+    executor = make_executor(
+        "serial" if workers == 1 else "parallel",
+        workers=None if workers == 1 else workers,
+        transport=transport if workers > 1 else "auto",
+    )
+    with executor:
+        for round_index in range(rounds):
+            seeds = [
+                tree.seed("client", client.client_id, "round", round_index)
+                for client in clients
+            ]
+            updates = executor.run_round(
+                strategy, model, state, clients, round_index, seeds
+            )
+            state = strategy.aggregate(state, updates, round_index)
+    return state, executor
+
+
+def _run_transports(suite, worker_grid) -> str:
+    """Per-transport downlink bytes and broadcast wall clock.
+
+    "down" is what the workers actually received per round (pipe copies
+    the blob per worker); "unique down" is the fan-out-deduplicated floor
+    (one blob per round) both transports share.  "bcast floor" is the
+    fastest *warm* round's broadcast path — server-side encode+publish,
+    dispatch latency to the slowest worker's handler entry, and the
+    workers' overlapped lazy decode.  The minimum (not the mean) is
+    reported because on an oversubscribed box the dispatch latency is
+    dominated by OS scheduling noise; the floor is where the transports'
+    structural difference — N pickled pipe copies vs. one shm publish —
+    shows through.  A production-scale state (a few MiB) is used for the
+    same reason: at bench-model sizes the copies vanish under the noise.
+    Round 0 (pool spin-up, cold caches) is excluded, as are registration
+    bytes from both byte columns.
+    """
+    from repro.fl import shm_supported
+
+    rounds = max(3, bench_rounds(6))
+    transports = ["pipe"] + (["shm"] if shm_supported() else [])
+    grid = [workers for workers in worker_grid if workers > 1] or [2]
+    model = build_cnn_model(
+        suite.image_shape, suite.num_classes, rng=np.random.default_rng(0),
+        widths=(48, 96), embed_dim=256,
+    )
+    init_state = {
+        key: value.copy() for key, value in model.state_dict().items()
+    }
+    state_kib = sum(v.nbytes for v in init_state.values()) / 1024
+    serial_state, _ = _transport_rounds(suite, "auto", 1, model, init_state, rounds)
+    rows = []
+    for transport in transports:
+        for workers in grid:
+            final_state, executor = _transport_rounds(
+                suite, transport, workers, model, init_state, rounds
+            )
+            wire = executor.wire_stats()
+            floor_ms = 1e3 * (
+                min(executor.broadcast_encode_rounds[1:])
+                + min(executor.broadcast_dispatch_rounds[1:])
+                + min(executor.broadcast_decode_rounds[1:])
+            )
+            decode_ms = 1e3 * min(executor.broadcast_decode_rounds[1:])
+            identical = all(
+                np.array_equal(final_state[key], serial_state[key])
+                for key in serial_state
+            )
+            rows.append(
+                [
+                    f"{transport} x{workers}",
+                    f"{(wire.broadcast_bytes + wire.task_bytes) / rounds / 1024:.0f}",
+                    f"{(wire.unique_broadcast_bytes + wire.task_bytes) / rounds / 1024:.0f}",
+                    f"{floor_ms:.1f}",
+                    f"{decode_ms:.2f}",
+                    "yes" if identical else "NO",
+                ]
+            )
+    return format_table(
+        [
+            "Transport",
+            "down KiB/round",
+            "unique down KiB/round",
+            "bcast floor (ms/round)",
+            "of which decode (ms)",
+            "state == serial",
+        ],
+        rows,
+        title=(
+            f"Wire transports — broadcast fan-out cost per round "
+            f"({rounds} rounds, {CLIENTS_PER_ROUND} participants, "
+            f"{state_kib:.0f} KiB state; shm publishes one copy per round, "
+            f"pipe one per worker)"
+        ),
+    )
+
+
+def _tables(suite, worker_grid, codec="identity", transport="auto",
+            extra_tables=True) -> str:
+    """``extra_tables=False`` keeps non-default CI matrix legs to the
+    scaling table alone — the wire, codec, and transport sweeps are
+    independent of the matrix axis and would only duplicate the default
+    leg's output."""
+    parts = [_run(suite, worker_grid, codec=codec, transport=transport)]
+    if extra_tables:
         parts.append(_run_wire(suite))
         parts.append(_run_codecs(suite))
+        parts.append(_run_transports(suite, worker_grid))
     return "\n\n".join(parts)
 
 
@@ -333,6 +461,10 @@ if __name__ == "__main__":
         "--codec", default="identity",
         help="wire codec for the scaling table (CI runs a matrix of these)",
     )
+    parser.add_argument(
+        "--transport", default="auto",
+        help="wire transport for the scaling table (CI runs pipe and shm legs)",
+    )
     args = parser.parse_args()
     if args.smoke:
         import os
@@ -340,14 +472,19 @@ if __name__ == "__main__":
         os.environ.setdefault("REPRO_BENCH_SCALE", "fast")
     grid = [1, 2] if args.smoke else WORKER_GRID
     suite = synthetic_pacs(seed=0, samples_per_class=samples_per_class(40))
-    name = (
-        "executor_scaling"
-        if args.codec == "identity"
-        else f"executor_scaling_{args.codec.replace('+', '_')}"
-    )
+    name = "executor_scaling"
+    if args.codec != "identity":
+        name += f"_{args.codec.replace('+', '_')}"
+    if args.transport != "auto":
+        name += f"_{args.transport}"
     emit(
         name,
         _tables(
-            suite, grid, codec=args.codec, codec_tables=args.codec == "identity"
+            suite, grid, codec=args.codec, transport=args.transport,
+            # The sweep tables are leg-independent (the transport sweep runs
+            # both transports itself); run them on the local default (auto)
+            # and on exactly one CI matrix leg (identity + pipe).
+            extra_tables=args.codec == "identity"
+            and args.transport in ("auto", "pipe"),
         ),
     )

@@ -41,6 +41,7 @@ from repro.eval import (
 )
 from repro.fl.codec import codec_specs, make_codec
 from repro.fl.executor import EXECUTOR_KINDS
+from repro.fl.transport import transport_specs
 from repro.fl.strategy import Strategy
 from repro.utils.tables import format_percent, format_table
 
@@ -75,6 +76,7 @@ def _setting_from_args(args: argparse.Namespace) -> ExperimentSetting:
         executor=args.executor,
         workers=args.workers,
         codec=args.codec,
+        transport=args.transport,
     )
 
 
@@ -152,6 +154,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "'fp16+deflate')",
     )
     parser.add_argument(
+        "--transport", choices=("auto",) + transport_specs(), default="auto",
+        help="wire transport for broadcast blobs: 'pipe' copies the blob "
+        "per worker, 'shm' publishes one shared-memory copy per round; "
+        "'auto' (default) prefers shm where the platform supports it",
+    )
+    parser.add_argument(
         "--timing", action="store_true",
         help="also print the phase-timing and measured-wire-traffic report",
     )
@@ -166,11 +174,18 @@ _TIMING_HEADER = [
     "one-time (s)",
     "wire up (KiB)",
     "wire down (KiB)",
+    "unique down (KiB)",
+    "bcast decode (s)",
 ]
 
 
 def _timing_row(name: str, timing) -> list[str]:
-    """One report row; wire columns stay 0.0 for the in-process engine."""
+    """One report row; wire columns stay 0.0 for the in-process engine.
+
+    "unique down" counts each broadcast blob once per round regardless of
+    worker fan-out; "bcast decode" is worker decode time that overlapped
+    the local phase (see repro.fl.timing.TimingReport).
+    """
     return [
         name,
         f"{timing.local_train_seconds_total:.2f}",
@@ -180,6 +195,8 @@ def _timing_row(name: str, timing) -> list[str]:
         f"{timing.one_time_seconds:.2f}",
         f"{timing.bytes_up / 1024:.1f}",
         f"{timing.bytes_down / 1024:.1f}",
+        f"{timing.unique_bytes_down / 1024:.1f}",
+        f"{timing.broadcast_decode_seconds_total:.2f}",
     ]
 
 

@@ -45,9 +45,11 @@ class ExperimentSetting:
     ``executor="auto"`` resolves serial vs. parallel from this setting's
     own per-round fan-out (see :func:`repro.fl.executor.resolve_executor`);
     ``codec`` names the wire codec for weight payloads
-    (:mod:`repro.fl.codec`) and reaches both the engine and the
-    :class:`repro.fl.server.FederatedConfig` of every run built from this
-    setting.
+    (:mod:`repro.fl.codec`) and ``transport`` the wire transport for
+    broadcast blobs (:mod:`repro.fl.transport`, ``"auto"`` prefers the
+    single-copy shm broadcast where supported) — both reach the engine and
+    the :class:`repro.fl.server.FederatedConfig` of every run built from
+    this setting.
     """
 
     num_clients: int = 20
@@ -61,6 +63,7 @@ class ExperimentSetting:
     executor: str = "serial"
     workers: int | None = None
     codec: str = "identity"
+    transport: str = "auto"
 
     def round_participants(self) -> int:
         """This setting's resolved per-round participant count."""
@@ -82,6 +85,7 @@ class ExperimentSetting:
             codec=self.codec,
             participants=self.round_participants(),
             local_epochs=local_epochs,
+            transport=self.transport,
         )
 
     def model_factory(self, suite: DomainSuite) -> ModelFactory:
@@ -164,6 +168,7 @@ def run_split_experiment(
             eval_every=setting.eval_every,
             seed=setting.seed,
             codec=setting.codec,
+            transport=setting.transport,
         ),
         executor=executor,
     )

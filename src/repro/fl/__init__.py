@@ -28,6 +28,15 @@ from repro.fl.secure import SecureAggregator, masked_upload
 from repro.fl.server import FederatedConfig, FederatedResult, FederatedServer
 from repro.fl.strategy import LocalTrainingConfig, Strategy, run_ce_epochs
 from repro.fl.timing import PhaseTimer, TimingReport
+from repro.fl.transport import (
+    PipeTransport,
+    ShmTransport,
+    Transport,
+    make_transport,
+    resolve_transport,
+    shm_supported,
+    transport_specs,
+)
 
 __all__ = [
     "Client",
@@ -62,4 +71,11 @@ __all__ = [
     "run_ce_epochs",
     "PhaseTimer",
     "TimingReport",
+    "Transport",
+    "PipeTransport",
+    "ShmTransport",
+    "make_transport",
+    "resolve_transport",
+    "shm_supported",
+    "transport_specs",
 ]

@@ -51,10 +51,24 @@ the server keeps each client's last acknowledged upload), and ``fp16`` /
 endpoint resets — pool rebuilds clear every reference, and re-registering
 a client clears that client's upload chain on both sides.
 
-Every hop is byte-counted *post-codec* in :class:`WireStats`; the server
-folds the counters into :class:`repro.fl.timing.TimingReport` so benches
-can print measured traffic next to the analytic
-:mod:`repro.fl.communication` model.
+*How* the encoded broadcast blob reaches the workers is a pluggable
+**transport** (:mod:`repro.fl.transport`), negotiated at pool build like
+the codec: ``pipe`` pickles one full copy into each participating worker's
+pipe, ``shm`` writes the blob once into a shared-memory segment and ships
+workers only a tiny handle.  Broadcast decode is *overlapped* on every
+transport: the worker's broadcast handler just records the handle, and the
+decode runs lazily at the round's first tensor touch — inside the local
+phase, concurrent with other workers' training and the server's dispatch —
+with its wall clock stamped on the first task's
+:attr:`ClientUpdate.decode_seconds` so :class:`repro.fl.timing.PhaseTimer`
+can report the overlap window.
+
+Every hop is byte-counted *post-codec* in :class:`WireStats` — both as the
+bytes each endpoint actually saw (``bytes_down``) and deduplicated across
+the fan-out (``unique_bytes_down``: the broadcast blob counts once per
+round, not once per worker); the server folds the counters into
+:class:`repro.fl.timing.TimingReport` so benches can print measured
+traffic next to the analytic :mod:`repro.fl.communication` model.
 """
 
 from __future__ import annotations
@@ -72,6 +86,7 @@ import numpy as np
 
 from repro.fl.client import Client, ScratchDelta
 from repro.fl.codec import Codec, Payload, make_codec
+from repro.fl.transport import Transport, make_transport, resolve_transport
 from repro.nn.serialize import StateDict, decode_payload, encode_payload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -117,7 +132,12 @@ class ClientUpdate:
     engine.  Applying it to any scratch copy that was in sync before the
     update reproduces additions, overwrites, and deletions alike.
     ``train_seconds`` is the worker-measured wall clock of the update, so
-    the timing report stays fair when updates overlap.
+    the timing report stays fair when updates overlap.  ``decode_seconds``
+    is the worker-measured wall clock of the lazy broadcast decode, nonzero
+    only on the task that performed it (the worker's first task of the
+    round) — under the parallel engine this work overlaps other workers'
+    training, and :class:`repro.fl.timing.PhaseTimer` accumulates it as the
+    round's overlap window.
 
     On the parallel engine's upload hop, ``state`` transiently holds the
     codec :class:`repro.fl.codec.Payload` instead of a state dict; the
@@ -136,6 +156,7 @@ class ClientUpdate:
     payload: dict[str, object] = field(default_factory=dict)
     scratch_delta: ScratchDelta = field(default_factory=ScratchDelta)
     train_seconds: float = 0.0
+    decode_seconds: float = 0.0
 
     @classmethod
     def from_client(
@@ -162,17 +183,40 @@ class WireStats:
     ``registration_bytes`` also counts the per-worker model template — the
     whole one-time cost of making a pool resident.  Serial execution has no
     wire, so its stats stay zero.
+
+    The ``unique_*`` counters deduplicate the fan-out: each distinct
+    payload counts once regardless of how many workers received it — the
+    model template once (not once per worker), each round's strategy blob
+    and each distinct encoded broadcast blob once (not once per
+    participating worker).  ``bytes_down`` is what the endpoints actually
+    saw and therefore transport-dependent (the pipe transport really does
+    copy the broadcast per worker); ``unique_bytes_down`` is the
+    information-content floor both transports share, and the gap between
+    the two is exactly what the shm transport's single-copy broadcast
+    eliminates.
     """
 
     registration_bytes: int = 0
     broadcast_bytes: int = 0
     task_bytes: int = 0
     upload_bytes: int = 0
+    unique_registration_bytes: int = 0
+    unique_broadcast_bytes: int = 0
 
     @property
     def bytes_down(self) -> int:
         """Server → worker traffic (registration + broadcast + tasks)."""
         return self.registration_bytes + self.broadcast_bytes + self.task_bytes
+
+    @property
+    def unique_bytes_down(self) -> int:
+        """Downlink traffic with fan-out duplicates counted once (each
+        distinct broadcast blob once per round, the model template once)."""
+        return (
+            self.unique_registration_bytes
+            + self.unique_broadcast_bytes
+            + self.task_bytes
+        )
 
     @property
     def bytes_up(self) -> int:
@@ -218,6 +262,10 @@ class Executor:
     round-tripping states through the codec, exactly as a worker would see
     them.
     """
+
+    #: The wire transport, for engines that have a wire (the serial engine
+    #: keeps the ``None`` default — there is no process boundary to cross).
+    transport: "Transport | None" = None
 
     def __init__(self, codec: "str | Codec" = "identity") -> None:
         self.codec = make_codec(codec)
@@ -301,11 +349,18 @@ class SerialExecutor(Executor):
 
 _WORKER_MODEL: "FeatureClassifierModel | None" = None
 _WORKER_CODEC: Codec | None = None
+_WORKER_TRANSPORT: Transport | None = None
 _WORKER_STRATEGY_BLOB: bytes | None = None
 _WORKER_STRATEGY: "Strategy | None" = None
 _WORKER_CLIENTS: dict[int, Client] = {}
 _WORKER_STATE: StateDict | None = None
 _WORKER_ROUND: int | None = None
+# The not-yet-decoded broadcast: (transport handle, round index).  The
+# broadcast handler only records it; the decode runs lazily at the round's
+# first tensor touch (see _ensure_round_state) so it overlaps the server's
+# dispatch and the other workers' training instead of serializing behind a
+# per-round barrier.
+_WORKER_PENDING: "tuple[object, int] | None" = None
 # Codec reference states (stateful codecs only): the previous decoded
 # broadcast, and each resident client's last uploaded state.  They advance
 # in lockstep with the server-side chains because lossless decoding is
@@ -314,15 +369,17 @@ _WORKER_BCAST_REF: StateDict | None = None
 _WORKER_UPLOAD_REFS: dict[int, StateDict] = {}
 
 
-def _worker_init(model_blob: bytes, codec_spec: str) -> None:
-    global _WORKER_MODEL, _WORKER_CODEC, _WORKER_STATE, _WORKER_ROUND
-    global _WORKER_BCAST_REF
+def _worker_init(model_blob: bytes, codec_spec: str, transport_spec: str) -> None:
+    global _WORKER_MODEL, _WORKER_CODEC, _WORKER_TRANSPORT
+    global _WORKER_STATE, _WORKER_ROUND, _WORKER_PENDING, _WORKER_BCAST_REF
     _WORKER_MODEL = decode_payload(model_blob)
     _WORKER_CODEC = make_codec(codec_spec)  # the negotiated wire codec
+    _WORKER_TRANSPORT = make_transport(transport_spec)  # ...and transport
     _WORKER_CLIENTS.clear()  # fork may inherit a sibling pool's module state
     _WORKER_UPLOAD_REFS.clear()
     _WORKER_STATE = None
     _WORKER_ROUND = None
+    _WORKER_PENDING = None
     _WORKER_BCAST_REF = None
 
 
@@ -347,27 +404,58 @@ def _worker_strategy(strategy_blob: bytes) -> "Strategy":
 
 
 def _worker_broadcast(
-    strategy_blob: bytes, state_blob: bytes, round_index: int
-) -> None:
-    """Install one round's strategy + codec-decoded weights for this worker."""
-    global _WORKER_STATE, _WORKER_ROUND, _WORKER_BCAST_REF
+    strategy_blob: bytes, handle: object, round_index: int
+) -> float:
+    """Record one round's strategy + broadcast handle for this worker.
+
+    Deliberately does *not* decode the weights — that happens lazily at the
+    round's first tensor touch (:func:`_ensure_round_state`), overlapping
+    the decode with the server's task dispatch and the other workers'
+    training.  Returns the handler-entry ``perf_counter`` timestamp; on the
+    platforms this library runs, ``perf_counter`` reads a system-wide
+    monotonic clock, so the server can subtract its submit timestamp to
+    measure the transport's dispatch latency (pickling + pipe transfer for
+    ``pipe``, a tiny handle for ``shm``).
+    """
+    entry = time.perf_counter()
+    global _WORKER_PENDING
     _worker_strategy(strategy_blob)
-    payload: Payload = decode_payload(state_blob)
-    _WORKER_STATE = _WORKER_CODEC.decode(payload, _WORKER_BCAST_REF)
-    if _WORKER_CODEC.stateful:
-        _WORKER_BCAST_REF = _WORKER_STATE
-    _WORKER_ROUND = round_index
+    _WORKER_PENDING = (handle, round_index)
+    return entry
+
+
+def _ensure_round_state(round_index: int) -> float:
+    """Decode the pending broadcast if this task is the round's first tensor
+    touch on this worker; returns the decode wall clock (0.0 when the round
+    state is already installed)."""
+    global _WORKER_STATE, _WORKER_ROUND, _WORKER_PENDING, _WORKER_BCAST_REF
+    decode_seconds = 0.0
+    if _WORKER_PENDING is not None and _WORKER_PENDING[1] == round_index:
+        handle, pending_round = _WORKER_PENDING
+        start = time.perf_counter()
+        # fetch() is a pipe no-op / a zero-copy shm view; decode_payload
+        # reads it out-of-band, so the codec decodes straight from the
+        # transport's buffer without an intermediate copy.
+        payload: Payload = decode_payload(_WORKER_TRANSPORT.fetch(handle))
+        _WORKER_STATE = _WORKER_CODEC.decode(payload, _WORKER_BCAST_REF)
+        if _WORKER_CODEC.stateful:
+            _WORKER_BCAST_REF = _WORKER_STATE
+        _WORKER_ROUND = pending_round
+        _WORKER_PENDING = None
+        decode_seconds = time.perf_counter() - start
+    if _WORKER_STATE is None or _WORKER_ROUND != round_index:  # pragma: no cover
+        raise RuntimeError(
+            f"task for round {round_index} arrived without its broadcast "
+            f"(worker is at round {_WORKER_ROUND})"
+        )
+    return decode_seconds
 
 
 def _run_resident_task(task: tuple[int, int, int, bytes | None]) -> bytes:
     client_id, round_index, seed, scratch_sync = task
     if _WORKER_MODEL is None or _WORKER_STRATEGY is None:  # pragma: no cover
         raise RuntimeError("worker received a task before init/broadcast")
-    if _WORKER_STATE is None or _WORKER_ROUND != round_index:  # pragma: no cover
-        raise RuntimeError(
-            f"task for round {round_index} arrived without its broadcast "
-            f"(worker is at round {_WORKER_ROUND})"
-        )
+    decode_seconds = _ensure_round_state(round_index)
     client = _WORKER_CLIENTS.get(client_id)
     if client is None:  # pragma: no cover - protocol violation
         raise RuntimeError(f"client {client_id} is not resident on this worker")
@@ -377,6 +465,7 @@ def _run_resident_task(task: tuple[int, int, int, bytes | None]) -> bytes:
     update = _timed_local_update(
         _WORKER_STRATEGY, client, _WORKER_MODEL, round_index, seed
     )
+    update.decode_seconds = decode_seconds
     # Codec-encode the upload; ``update.state`` carries the Payload across
     # the wire and the server restores a decoded state before anyone else
     # sees the update.
@@ -384,7 +473,7 @@ def _run_resident_task(task: tuple[int, int, int, bytes | None]) -> bytes:
     update.state = _WORKER_CODEC.encode(state, _WORKER_UPLOAD_REFS.get(client_id))
     if _WORKER_CODEC.stateful:
         _WORKER_UPLOAD_REFS[client_id] = state
-    return encode_payload(update)
+    return _WORKER_TRANSPORT.send_upload(encode_payload(update))
 
 
 def _default_workers() -> int:
@@ -419,6 +508,13 @@ class ParallelExecutor(Executor):
         codec (``delta``) keeps one reference state per worker (the last
         broadcast) and per client (the last acknowledged upload) on each
         side — O(model) memory per endpoint, the price of shipping diffs.
+    transport:
+        How encoded broadcast blobs reach the workers
+        (:mod:`repro.fl.transport`): ``"pipe"`` copies the blob into each
+        participating worker's pipe, ``"shm"`` publishes one shared-memory
+        copy per round, and ``"auto"`` (default) prefers ``shm`` when the
+        platform supports it.  Negotiated at pool build like the codec;
+        purely mechanical — traces are transport-invariant.
 
     Each worker slot is one long-lived process (a single-worker
     :class:`~concurrent.futures.ProcessPoolExecutor`), and every client is
@@ -445,13 +541,23 @@ class ParallelExecutor(Executor):
         num_workers: int | None = None,
         start_method: str | None = None,
         codec: "str | Codec" = "identity",
+        transport: "str | Transport" = "auto",
     ) -> None:
         super().__init__(codec=codec)
         if num_workers is not None and num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = num_workers or _default_workers()
         self.start_method = start_method or _default_start_method()
+        self.transport = make_transport(transport)
         self.wire = WireStats()
+        # Per-round broadcast timing, for the scaling bench: server-side
+        # encode+publish seconds, and the dispatch latency from submit to
+        # the slowest worker's handler entry (cross-process monotonic
+        # clock — see _worker_broadcast).  Cumulative like the pool itself;
+        # index 0 of a cold pool includes worker spin-up.
+        self.broadcast_encode_rounds: list[float] = []
+        self.broadcast_dispatch_rounds: list[float] = []
+        self.broadcast_decode_rounds: list[float] = []
         self._pools: list[_ProcessPool] | None = None
         self._pool_architecture: tuple | None = None
         # client_id -> the exact server-side object resident on its home
@@ -519,12 +625,13 @@ class ParallelExecutor(Executor):
                     max_workers=1,
                     mp_context=context,
                     initializer=_worker_init,
-                    initargs=(model_blob, self.codec.spec),
+                    initargs=(model_blob, self.codec.spec, self.transport.name),
                 )
                 for _ in range(self.num_workers)
             ]
             self._pool_architecture = architecture
             self.wire.registration_bytes += len(model_blob) * self.num_workers
+            self.wire.unique_registration_bytes += len(model_blob)
         return self._pools
 
     def _register_new_participants(
@@ -542,6 +649,9 @@ class ParallelExecutor(Executor):
         for home, clients in sorted(newcomers.items()):
             blob = encode_payload(clients)
             self.wire.registration_bytes += len(blob)
+            # Each client ships to exactly one home, so the blob is already
+            # fan-out-free and counts unchanged toward the unique floor.
+            self.wire.unique_registration_bytes += len(blob)
             futures.append(pools[home].submit(_worker_register, blob))
             for client in clients:
                 # Mirror the worker-side sync point: from here on, only
@@ -569,50 +679,108 @@ class ParallelExecutor(Executor):
         # One broadcast per participating worker, not per task.  The state
         # is codec-encoded against each worker's reference chain; workers
         # whose chains point at the same state (the common case — every
-        # participating worker saw the last broadcast) share one encode.
+        # participating worker saw the last broadcast) share one encode —
+        # and one transport publish, so under shm the blob is written once
+        # per round no matter how many workers fan out.
+        encode_start = time.perf_counter()
         strategy_blob = encode_payload(strategy)
-        homes = {self._home(client.client_id) for client in participants}
-        encoded_for_ref: dict[int, bytes] = {}
-        broadcast_futures = []
-        for home in sorted(homes):
+        homes = sorted({self._home(client.client_id) for client in participants})
+        handle_for_ref: dict[int, object] = {}
+        handle_of: dict[int, object] = {}
+        self.wire.unique_broadcast_bytes += len(strategy_blob)
+        for home in homes:
             ref = self._bcast_refs.get(home)
-            state_blob = encoded_for_ref.get(id(ref))
-            if state_blob is None:
+            handle = handle_for_ref.get(id(ref))
+            if handle is None:
                 state_blob = encode_payload(self.codec.encode(global_state, ref))
-                encoded_for_ref[id(ref)] = state_blob
+                handle = self.transport.publish(state_blob)
+                handle_for_ref[id(ref)] = handle
+                self.wire.unique_broadcast_bytes += len(state_blob)
+                self.wire.broadcast_bytes += self.transport.publish_wire_bytes(
+                    state_blob
+                )
             if self.codec.stateful:
                 self._bcast_refs[home] = global_state
-            self.wire.broadcast_bytes += len(strategy_blob) + len(state_blob)
-            broadcast_futures.append(
-                pools[home].submit(
-                    _worker_broadcast, strategy_blob, state_blob, round_index
-                )
-            )
-        for future in broadcast_futures:
-            future.result()
-
-        # Constant-size tasks; the scratch sync blob is None unless
-        # server-side code touched the client's scratch since the last sync.
-        task_futures: list[Future] = []
-        for client, seed in zip(participants, seeds):
-            server_delta = client.scratch.collect_delta()
-            sync_blob = encode_payload(server_delta) if server_delta else None
-            task = (client.client_id, round_index, seed, sync_blob)
-            # Count the fixed fields exactly but never re-pickle the sync
-            # blob (it can be dataset-scale); its pickle framing is noise.
-            self.wire.task_bytes += len(
-                pickle.dumps(
-                    (client.client_id, round_index, seed, None),
-                    protocol=pickle.HIGHEST_PROTOCOL,
-                )
-            ) + (len(sync_blob) if sync_blob is not None else 0)
-            task_futures.append(
-                pools[self._home(client.client_id)].submit(_run_resident_task, task)
-            )
+            self.wire.broadcast_bytes += len(
+                strategy_blob
+            ) + self.transport.handle_wire_bytes(handle)
+            handle_of[home] = handle
+        encode_seconds = time.perf_counter() - encode_start
 
         updates: list[ClientUpdate] = []
+        try:
+            # Dispatch the broadcasts but do NOT wait on them: each worker
+            # slot is a FIFO single-process pool, so its broadcast is
+            # guaranteed to run before its tasks, and the decode itself is
+            # lazy inside the first task (_ensure_round_state) — worker A
+            # trains while worker B's blob is still in its pipe.
+            dispatch_start = time.perf_counter()
+            broadcast_futures = [
+                pools[home].submit(
+                    _worker_broadcast, strategy_blob, handle_of[home], round_index
+                )
+                for home in homes
+            ]
+
+            # Constant-size tasks; the scratch sync blob is None unless
+            # server-side code touched the client's scratch since the last
+            # sync.
+            task_futures: list[Future] = []
+            for client, seed in zip(participants, seeds):
+                server_delta = client.scratch.collect_delta()
+                sync_blob = encode_payload(server_delta) if server_delta else None
+                task = (client.client_id, round_index, seed, sync_blob)
+                # Count the fixed fields exactly but never re-pickle the
+                # sync blob (it can be dataset-scale); its pickle framing
+                # is noise.
+                self.wire.task_bytes += len(
+                    pickle.dumps(
+                        (client.client_id, round_index, seed, None),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                ) + (len(sync_blob) if sync_blob is not None else 0)
+                task_futures.append(
+                    pools[self._home(client.client_id)].submit(
+                        _run_resident_task, task
+                    )
+                )
+
+            # With the tasks already queued behind them, resolving the
+            # broadcast futures costs no overlap; it surfaces transport
+            # errors with their original traceback and yields each
+            # handler's entry timestamp for the dispatch-latency
+            # measurement (max across workers = the barrier a blocking
+            # broadcast would have imposed).
+            dispatch = 0.0
+            for future in broadcast_futures:
+                dispatch = max(dispatch, future.result() - dispatch_start)
+
+            self._collect_uploads(participants, task_futures, updates)
+        finally:
+            # Unlink this round's segments even when dispatch, a worker, or
+            # an upload failed — callers that catch the error must not
+            # retain blob-sized shared memory until the next successful
+            # round or close().
+            self.transport.end_round()
+        # The per-round timing lists advance in lockstep, and only for
+        # rounds that completed (the bench indexes them together).
+        self.broadcast_encode_rounds.append(encode_seconds)
+        self.broadcast_dispatch_rounds.append(max(0.0, dispatch))
+        self.broadcast_decode_rounds.append(
+            sum(update.decode_seconds for update in updates)
+        )
+        return updates
+
+    def _collect_uploads(
+        self,
+        participants: Sequence[Client],
+        task_futures: "list[Future]",
+        updates: list[ClientUpdate],
+    ) -> None:
+        """Drain the round's upload futures into ``updates`` in sampling
+        order, decoding states and syncing scratch along the way."""
         for client, future in zip(participants, task_futures):
-            blob = future.result()
+            blob = self.transport.recv_upload(future.result())
             self.wire.upload_bytes += len(blob)
             update: ClientUpdate = decode_payload(blob)
             # Restore the codec-encoded state before anything downstream
@@ -636,7 +804,6 @@ class ParallelExecutor(Executor):
             # keeps its dirty set empty, so nothing bounces back next round.
             client.scratch.apply_delta(update.scratch_delta)
             updates.append(update)
-        return updates
 
     def close(self) -> None:
         if self._pools is not None:
@@ -644,6 +811,7 @@ class ParallelExecutor(Executor):
                 pool.shutdown(wait=True)
             self._pools = None
             self._pool_architecture = None
+        self.transport.close()
         self._resident.clear()
         # Reference chains die with their endpoints: a rebuilt pool starts
         # from full frames on both sides.
@@ -685,17 +853,24 @@ def make_executor(
     codec: "str | Codec" = "identity",
     participants: int | None = None,
     local_epochs: int = 1,
+    transport: "str | Transport" = "auto",
 ) -> Executor:
     """Build an engine from the CLI/bench knobs
-    (``--executor``/``--workers``/``--codec``).
+    (``--executor``/``--workers``/``--codec``/``--transport``).
 
     ``kind="auto"`` picks the engine via :func:`resolve_executor` from the
     optional ``participants``/``local_epochs`` hints; an explicit
     ``workers`` count under ``auto`` is read as intent and forces the
     parallel engine.  A ``workers`` count with ``kind="serial"`` is
     rejected rather than silently ignored — it almost always means the
-    caller wanted parallel execution and forgot to say so.
+    caller wanted parallel execution and forgot to say so.  ``transport``
+    only applies to the parallel engine; the serial engine has no wire, so
+    the spec is validated and then ignored — that keeps
+    ``executor="auto"`` + an explicit transport resolvable to either
+    engine.
     """
+    if isinstance(transport, str):
+        resolve_transport(transport)  # reject typos for every engine kind
     if kind == "auto":
         kind = (
             "parallel"
@@ -710,7 +885,7 @@ def make_executor(
             )
         return SerialExecutor(codec=codec)
     if kind == "parallel":
-        return ParallelExecutor(num_workers=workers, codec=codec)
+        return ParallelExecutor(num_workers=workers, codec=codec, transport=transport)
     raise ValueError(
         f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}"
     )

@@ -27,6 +27,7 @@ from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.sampling import UniformClientSampler
 from repro.fl.strategy import Strategy
 from repro.fl.timing import PhaseTimer, TimingReport
+from repro.fl.transport import resolve_transport
 from repro.nn.models import FeatureClassifierModel
 from repro.utils.logging import get_logger, kv
 from repro.utils.rng import SeedTree
@@ -49,6 +50,14 @@ class FederatedConfig:
     and a caller-supplied engine must already carry the same codec — the
     codec changes what clients train from (for lossy specs) and so belongs
     to the experiment definition, not just the transport.
+
+    ``transport`` names the wire transport for broadcast blobs (see
+    :mod:`repro.fl.transport`); engines built from this config (the
+    protocol runners thread it into :func:`repro.fl.executor.make_executor`)
+    carry it.  Unlike the codec it is *not* cross-checked against a
+    caller-supplied engine: the transport moves byte-identical blobs and
+    cannot change what clients train from, so mixing (say) a pipe-transport
+    pool into an ``"auto"`` config is mechanically harmless.
     """
 
     num_rounds: int = 10
@@ -56,6 +65,7 @@ class FederatedConfig:
     eval_every: int = 1
     seed: int = 0
     codec: str = "identity"
+    transport: str = "auto"
 
     def __post_init__(self) -> None:
         if self.num_rounds < 1:
@@ -68,6 +78,8 @@ class FederatedConfig:
         UniformClientSampler(self.clients_per_round)
         # Same pattern for the codec spec: fail at config time, not mid-run.
         make_codec(self.codec)
+        # ...and the transport spec ("auto" resolves per platform).
+        resolve_transport(self.transport)
 
 
 @dataclass
@@ -183,10 +195,12 @@ class FederatedServer:
             timer.record_local_wall(time.perf_counter() - wall_start)
             for update in updates:
                 timer.record_local_train(update.train_seconds)
+                timer.record_broadcast_decode(update.decode_seconds)
             wire_now = self.executor.wire_stats()
             timer.record_bytes(
                 wire_now.bytes_up - wire_before.bytes_up,
                 wire_now.bytes_down - wire_before.bytes_down,
+                wire_now.unique_bytes_down - wire_before.unique_bytes_down,
             )
             wire_before = wire_now
 

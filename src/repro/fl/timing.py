@@ -38,6 +38,14 @@ class TimingReport:
     #: (zero for in-process engines); see repro.fl.executor.WireStats.
     bytes_up: int = 0
     bytes_down: int = 0
+    #: Downlink traffic with fan-out duplicates counted once: the broadcast
+    #: blob counts once per round, not once per participating worker.  The
+    #: gap to ``bytes_down`` is what a single-copy transport (shm) saves.
+    unique_bytes_down: int = 0
+    #: Worker-measured wall clock of the lazy broadcast decodes — work that
+    #: ran *inside* the local phase (overlapped with training and dispatch)
+    #: instead of behind a synchronous pre-round barrier.
+    broadcast_decode_seconds_total: float = 0.0
 
     @property
     def local_train_seconds_mean(self) -> float:
@@ -78,6 +86,8 @@ class PhaseTimer:
         self._rounds = 0
         self._bytes_up = 0
         self._bytes_down = 0
+        self._unique_bytes_down = 0
+        self._decode_total = 0.0
 
     @contextmanager
     def one_time(self) -> Iterator[None]:
@@ -115,10 +125,29 @@ class PhaseTimer:
         """Account the elapsed server-side time of one round's local phase."""
         self._local_wall += seconds
 
-    def record_bytes(self, bytes_up: int, bytes_down: int) -> None:
-        """Account measured wire traffic (e.g. one round's executor delta)."""
+    def record_bytes(
+        self,
+        bytes_up: int,
+        bytes_down: int,
+        unique_bytes_down: int | None = None,
+    ) -> None:
+        """Account measured wire traffic (e.g. one round's executor delta).
+
+        ``unique_bytes_down`` is the fan-out-deduplicated downlink; callers
+        without dedup information may omit it, which counts every downlink
+        byte as unique (true when nothing fanned out).
+        """
         self._bytes_up += int(bytes_up)
         self._bytes_down += int(bytes_down)
+        self._unique_bytes_down += int(
+            bytes_down if unique_bytes_down is None else unique_bytes_down
+        )
+
+    def record_broadcast_decode(self, seconds: float) -> None:
+        """Account one worker-measured lazy broadcast decode (the overlap
+        window: this work ran inside the local phase, not behind a
+        pre-round barrier)."""
+        self._decode_total += seconds
 
     @contextmanager
     def aggregation(self) -> Iterator[None]:
@@ -139,4 +168,6 @@ class PhaseTimer:
             local_train_wall_seconds_total=self._local_wall,
             bytes_up=self._bytes_up,
             bytes_down=self._bytes_down,
+            unique_bytes_down=self._unique_bytes_down,
+            broadcast_decode_seconds_total=self._decode_total,
         )
