@@ -35,11 +35,20 @@ per-worker pickle+pipe copies are what shm deletes).  The second/third
 tables pin ``transport="pipe"`` so their per-worker byte stories stay
 comparable across releases.
 
+The fifth table measures the fault-tolerance layer (``repro.fl.faults``):
+per-round wall clock with faults off vs. under 25% injected stragglers,
+per engine, plus the dropped/straggler/rebuilt counters.  Shape to check:
+the parallel engines absorb the straggler sleeps across workers (smaller
+wall-clock hit than serial), and the faulty trace still matches the
+serial faulty trace bit-for-bit.
+
 Run directly for the full table, or with ``--smoke`` for the CI-scale
 variant (fast data scale, workers {1, 2}).  ``--codec SPEC`` runs the
 scaling table under that wire codec — the CI codec matrix uses it to check
-serial/parallel trace identity per codec — and ``--transport SPEC`` runs
-it under that wire transport (the CI shm leg).
+serial/parallel trace identity per codec — ``--transport SPEC`` runs it
+under that wire transport (the CI shm leg), and ``--faults SPEC`` (with an
+optional ``--deadline``) runs it under that fault plan — the CI chaos legs
+use it to check that a faulty trace stays engine-invariant end to end.
 """
 
 from __future__ import annotations
@@ -70,6 +79,8 @@ CLIENTS_PER_ROUND = 8
 NUM_CLIENTS = 16
 WORKER_GRID = [1, 2, 4]
 CODEC_GRID = ["identity", "delta", "fp16", "qint8", "qint8+deflate"]
+#: The fault-table plan: a quarter of the (client, round) cells are slow.
+STRAGGLER_PLAN = "straggler=0.25:0.05,seed=3"
 
 
 def _make_clients(suite):
@@ -81,7 +92,7 @@ def _make_clients(suite):
 
 def _run_with_workers(
     suite, rounds: int, workers: int, strategy=None, codec="identity",
-    transport="auto",
+    transport="auto", faults=None, deadline=None,
 ):
     clients = _make_clients(suite)
     model = build_cnn_model(
@@ -92,6 +103,8 @@ def _run_with_workers(
         workers=None if workers == 1 else workers,
         codec=codec,
         transport=transport,
+        faults=faults,
+        deadline=deadline,
     )
     server = FederatedServer(
         strategy=strategy or FedAvgStrategy(LocalTrainingConfig(batch_size=32)),
@@ -100,7 +113,7 @@ def _run_with_workers(
         eval_sets={"test": suite.datasets[3]},
         config=FederatedConfig(
             num_rounds=rounds, clients_per_round=CLIENTS_PER_ROUND, seed=0,
-            codec=codec, transport=transport,
+            codec=codec, transport=transport, faults=faults, deadline=deadline,
         ),
         executor=executor,
     )
@@ -111,11 +124,12 @@ def _run_with_workers(
 
 
 def _trace_of(result):
-    """The full per-round trace plus the final accuracies — what must be
-    engine-invariant."""
+    """The full per-round trace — including the fault layer's drop map —
+    plus the final accuracies: what must be engine-invariant."""
     return (
         [
             (r.round_index, r.mean_local_loss, tuple(r.participants),
+             tuple(sorted(r.dropped.items())),
              tuple(sorted(r.eval_accuracy.items())))
             for r in result.history.records
         ],
@@ -123,13 +137,17 @@ def _trace_of(result):
     )
 
 
-def _run(suite, worker_grid, codec="identity", transport="auto") -> str:
+def _run(
+    suite, worker_grid, codec="identity", transport="auto", faults=None,
+    deadline=None,
+) -> str:
     rounds = bench_rounds(4)
     rows = []
     baseline_trace = None
     for workers in worker_grid:
         result, _, _ = _run_with_workers(
-            suite, rounds, workers, codec=codec, transport=transport
+            suite, rounds, workers, codec=codec, transport=transport,
+            faults=faults, deadline=deadline,
         )
         timing = result.timing
         trace = _trace_of(result)
@@ -161,6 +179,7 @@ def _run(suite, worker_grid, codec="identity", transport="auto") -> str:
             f"Executor scaling — {rounds} rounds, "
             f"{CLIENTS_PER_ROUND}/{NUM_CLIENTS} clients per round, "
             f"codec={codec}, transport={transport}"
+            + (f", faults={faults}" if faults else "")
         ),
     )
 
@@ -429,17 +448,77 @@ def _run_transports(suite, worker_grid) -> str:
     )
 
 
+def _run_faults_table(suite, worker_grid) -> str:
+    """Round time with faults off vs. under 25% injected stragglers.
+
+    Each straggler sleeps its injected delay inside the local phase, so
+    the serial engine pays every sleep back to back while the parallel
+    engines overlap them across workers — the wall-clock column is the
+    robustness half of the scalability story.  The faulty runs also pin
+    the chaos invariance: every engine's faulty trace must equal the
+    serial faulty trace (the plan, not the engine, decides who survives).
+    """
+    rounds = max(3, bench_rounds(4))
+    grid = [1] + [workers for workers in worker_grid if workers > 1]
+    rows = []
+    for faults in (None, STRAGGLER_PLAN):
+        baseline_trace = None
+        for workers in grid:
+            result, _, _ = _run_with_workers(
+                suite, rounds, workers, faults=faults,
+                deadline=30.0 if faults else None,
+            )
+            timing = result.timing
+            trace = _trace_of(result)
+            if baseline_trace is None:
+                baseline_trace = trace
+            rows.append(
+                [
+                    "serial" if workers == 1 else f"parallel x{workers}",
+                    "off" if faults is None else "25% stragglers",
+                    f"{timing.local_train_wall_seconds_total / rounds:.2f}",
+                    f"{timing.dropped_clients}",
+                    f"{timing.straggler_seconds:.2f}",
+                    f"{timing.rebuilt_workers}",
+                    "yes" if trace == baseline_trace else "NO",
+                ]
+            )
+    return format_table(
+        [
+            "Executor",
+            "faults",
+            "local wall (s/round)",
+            "dropped",
+            "straggler (s)",
+            "rebuilt",
+            "trace == serial",
+        ],
+        rows,
+        title=(
+            f"Fault tolerance — round time under injected stragglers "
+            f"({rounds} rounds, {CLIENTS_PER_ROUND}/{NUM_CLIENTS} clients, "
+            f"plan '{STRAGGLER_PLAN}')"
+        ),
+    )
+
+
 def _tables(suite, worker_grid, codec="identity", transport="auto",
-            extra_tables=True) -> str:
+            faults=None, deadline=None, extra_tables=True) -> str:
     """``extra_tables=False`` keeps non-default CI matrix legs to the
-    scaling table alone — the wire, codec, and transport sweeps are
-    independent of the matrix axis and would only duplicate the default
-    leg's output."""
-    parts = [_run(suite, worker_grid, codec=codec, transport=transport)]
+    scaling table alone — the wire, codec, transport, and fault sweeps
+    are independent of the matrix axis and would only duplicate the
+    default leg's output."""
+    parts = [
+        _run(
+            suite, worker_grid, codec=codec, transport=transport,
+            faults=faults, deadline=deadline,
+        )
+    ]
     if extra_tables:
         parts.append(_run_wire(suite))
         parts.append(_run_codecs(suite))
         parts.append(_run_transports(suite, worker_grid))
+        parts.append(_run_faults_table(suite, worker_grid))
     return "\n\n".join(parts)
 
 
@@ -465,6 +544,15 @@ if __name__ == "__main__":
         "--transport", default="auto",
         help="wire transport for the scaling table (CI runs pipe and shm legs)",
     )
+    parser.add_argument(
+        "--faults", default=None,
+        help="fault-plan spec for the scaling table (the CI chaos legs use "
+        "it to check that a faulty trace stays engine-invariant)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-round wall-clock budget in seconds for the scaling table",
+    )
     args = parser.parse_args()
     if args.smoke:
         import os
@@ -477,14 +565,19 @@ if __name__ == "__main__":
         name += f"_{args.codec.replace('+', '_')}"
     if args.transport != "auto":
         name += f"_{args.transport}"
+    if args.faults is not None:
+        name += "_faults"
     emit(
         name,
         _tables(
             suite, grid, codec=args.codec, transport=args.transport,
+            faults=args.faults, deadline=args.deadline,
             # The sweep tables are leg-independent (the transport sweep runs
-            # both transports itself); run them on the local default (auto)
-            # and on exactly one CI matrix leg (identity + pipe).
+            # both transports itself, the fault sweep both fault settings);
+            # run them on the local default (auto) and on exactly one CI
+            # matrix leg (identity + pipe, no chaos).
             extra_tables=args.codec == "identity"
-            and args.transport in ("auto", "pipe"),
+            and args.transport in ("auto", "pipe")
+            and args.faults is None,
         ),
     )

@@ -41,6 +41,7 @@ from repro.eval import (
 )
 from repro.fl.codec import codec_specs, make_codec
 from repro.fl.executor import EXECUTOR_KINDS
+from repro.fl.faults import make_fault_plan
 from repro.fl.transport import transport_specs
 from repro.fl.strategy import Strategy
 from repro.utils.tables import format_percent, format_table
@@ -77,6 +78,8 @@ def _setting_from_args(args: argparse.Namespace) -> ExperimentSetting:
         workers=args.workers,
         codec=args.codec,
         transport=args.transport,
+        faults=args.faults,
+        deadline=args.deadline,
     )
 
 
@@ -113,6 +116,26 @@ def _positive_int(value: str) -> int:
     if number < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value!r}")
     return number
+
+
+def _positive_float(value: str) -> float:
+    try:
+        number = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{value!r} is not a number")
+    if number <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value!r}")
+    return number
+
+
+def _fault_spec(value: str) -> str:
+    """Validate a fault-plan spec (e.g. ``dropout=0.1,crash=2``) at parse
+    time so a typo is a usage error, not a mid-run traceback."""
+    try:
+        make_fault_plan(value)
+    except (TypeError, ValueError) as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return value
 
 
 def _codec_spec(value: str) -> str:
@@ -160,6 +183,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "'auto' (default) prefers shm where the platform supports it",
     )
     parser.add_argument(
+        "--faults", type=_fault_spec, default=None,
+        help="deterministic fault-injection plan, e.g. "
+        "'dropout=0.1,straggler=0.25:0.05,corrupt=0.05,crash=2+5,seed=7' "
+        "(see repro.fl.faults); faulty rounds aggregate over the survivors",
+    )
+    parser.add_argument(
+        "--deadline", type=_positive_float, default=None,
+        help="per-round wall-clock budget in seconds; when it expires the "
+        "round closes with whatever updates arrived and stragglers are "
+        "absorbed into the next round",
+    )
+    parser.add_argument(
         "--timing", action="store_true",
         help="also print the phase-timing and measured-wire-traffic report",
     )
@@ -176,6 +211,9 @@ _TIMING_HEADER = [
     "wire down (KiB)",
     "unique down (KiB)",
     "bcast decode (s)",
+    "dropped",
+    "straggler (s)",
+    "rebuilt",
 ]
 
 
@@ -184,7 +222,10 @@ def _timing_row(name: str, timing) -> list[str]:
 
     "unique down" counts each broadcast blob once per round regardless of
     worker fan-out; "bcast decode" is worker decode time that overlapped
-    the local phase (see repro.fl.timing.TimingReport).
+    the local phase; "dropped"/"straggler (s)"/"rebuilt" are the
+    fault-tolerance counters — selected clients that produced no
+    aggregated update, injected straggler slowdown absorbed, and worker
+    slots rebuilt after crashes (see repro.fl.timing.TimingReport).
     """
     return [
         name,
@@ -197,6 +238,9 @@ def _timing_row(name: str, timing) -> list[str]:
         f"{timing.bytes_down / 1024:.1f}",
         f"{timing.unique_bytes_down / 1024:.1f}",
         f"{timing.broadcast_decode_seconds_total:.2f}",
+        str(timing.dropped_clients),
+        f"{timing.straggler_seconds:.2f}",
+        str(timing.rebuilt_workers),
     ]
 
 

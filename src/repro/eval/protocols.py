@@ -49,7 +49,9 @@ class ExperimentSetting:
     broadcast blobs (:mod:`repro.fl.transport`, ``"auto"`` prefers the
     single-copy shm broadcast where supported) — both reach the engine and
     the :class:`repro.fl.server.FederatedConfig` of every run built from
-    this setting.
+    this setting.  ``faults`` (a :mod:`repro.fl.faults` spec string) and
+    ``deadline`` (per-round wall-clock budget, seconds) configure the
+    fault-tolerance layer the same way.
     """
 
     num_clients: int = 20
@@ -64,6 +66,8 @@ class ExperimentSetting:
     workers: int | None = None
     codec: str = "identity"
     transport: str = "auto"
+    faults: str | None = None
+    deadline: float | None = None
 
     def round_participants(self) -> int:
         """This setting's resolved per-round participant count."""
@@ -86,6 +90,8 @@ class ExperimentSetting:
             participants=self.round_participants(),
             local_epochs=local_epochs,
             transport=self.transport,
+            faults=self.faults,
+            deadline=self.deadline,
         )
 
     def model_factory(self, suite: DomainSuite) -> ModelFactory:
@@ -169,6 +175,8 @@ def run_split_experiment(
             seed=setting.seed,
             codec=setting.codec,
             transport=setting.transport,
+            faults=setting.faults,
+            deadline=setting.deadline,
         ),
         executor=executor,
     )

@@ -22,6 +22,13 @@ from repro.fl.executor import (
     make_executor,
     resolve_executor,
 )
+from repro.fl.faults import (
+    FaultEvent,
+    FaultPlan,
+    RoundFaultReport,
+    RoundTimeoutError,
+    make_fault_plan,
+)
 from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.sampling import UniformClientSampler
 from repro.fl.secure import SecureAggregator, masked_upload
@@ -58,6 +65,11 @@ __all__ = [
     "ParallelExecutor",
     "make_executor",
     "resolve_executor",
+    "FaultEvent",
+    "FaultPlan",
+    "RoundFaultReport",
+    "RoundTimeoutError",
+    "make_fault_plan",
     "RoundRecord",
     "RunHistory",
     "UniformClientSampler",

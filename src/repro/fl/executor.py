@@ -63,6 +63,15 @@ with its wall clock stamped on the first task's
 :attr:`ClientUpdate.decode_seconds` so :class:`repro.fl.timing.PhaseTimer`
 can report the overlap window.
 
+Both engines also host the **fault-tolerance layer**
+(:mod:`repro.fl.faults`): a deterministic, seeded fault plan injects
+client dropouts, worker crashes, stragglers, and corrupted uploads; a
+round ``deadline`` lets the parallel engine close a round with whatever
+updates arrived (survivors aggregate, stragglers are absorbed into the
+next round, crashed pool slots are rebuilt in place), and the engines
+publish each round's casualties in a
+:class:`repro.fl.faults.RoundFaultReport` so the server can record them.
+
 Every hop is byte-counted *post-codec* in :class:`WireStats` — both as the
 bytes each endpoint actually saw (``bytes_down``) and deduplicated across
 the fan-out (``unique_bytes_down``: the broadcast blob counts once per
@@ -77,7 +86,12 @@ import os
 import pickle
 import sys
 import time
-from concurrent.futures import Future, ProcessPoolExecutor as _ProcessPool
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor as _ProcessPool,
+    TimeoutError as _FuturesTimeout,
+)
+from concurrent.futures.process import BrokenProcessPool as _BrokenPool
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Sequence
 
@@ -86,6 +100,15 @@ import numpy as np
 
 from repro.fl.client import Client, ScratchDelta
 from repro.fl.codec import Codec, Payload, make_codec
+from repro.fl.faults import (
+    FaultEvent,
+    FaultPlan,
+    RoundFaultReport,
+    RoundTimeoutError,
+    make_fault_plan,
+    poison_state,
+    state_is_corrupt,
+)
 from repro.fl.transport import Transport, make_transport, resolve_transport
 from repro.nn.serialize import StateDict, decode_payload, encode_payload
 
@@ -137,7 +160,14 @@ class ClientUpdate:
     only on the task that performed it (the worker's first task of the
     round) — under the parallel engine this work overlaps other workers'
     training, and :class:`repro.fl.timing.PhaseTimer` accumulates it as the
-    round's overlap window.
+    round's overlap window.  ``straggler_seconds`` is the injected
+    fault-plan slowdown this update really slept through (zero outside
+    chaos runs — see :mod:`repro.fl.faults`), kept out of
+    ``train_seconds`` so per-update compute stays honest.  It is a
+    per-update *diagnostic* only: the run-level
+    ``TimingReport.straggler_seconds`` is derived from the plan instead,
+    so cooperatively skipped stragglers (which never produce an update)
+    count too.
 
     On the parallel engine's upload hop, ``state`` transiently holds the
     codec :class:`repro.fl.codec.Payload` instead of a state dict; the
@@ -157,6 +187,7 @@ class ClientUpdate:
     scratch_delta: ScratchDelta = field(default_factory=ScratchDelta)
     train_seconds: float = 0.0
     decode_seconds: float = 0.0
+    straggler_seconds: float = 0.0
 
     @classmethod
     def from_client(
@@ -261,14 +292,38 @@ class Executor:
     every codec*: an in-process engine reproduces a lossy wire by
     round-tripping states through the codec, exactly as a worker would see
     them.
+
+    ``faults`` injects a deterministic chaos schedule
+    (:class:`repro.fl.faults.FaultPlan`, or its spec string) and
+    ``deadline`` bounds each round's wall clock; both default to off.  An
+    engine with faults or a deadline may return *fewer* updates than
+    participants — the survivors, still in sampling order — and must
+    publish what it dropped (and why) in :attr:`last_fault_report` so the
+    server can reweight aggregation over the survivors and record the
+    round's casualties.  The fault layer's observable effect (who survives
+    each round) must stay engine-invariant: the chaos tests compare
+    serial and parallel traces bit-for-bit under one plan.
     """
 
     #: The wire transport, for engines that have a wire (the serial engine
     #: keeps the ``None`` default — there is no process boundary to cross).
     transport: "Transport | None" = None
 
-    def __init__(self, codec: "str | Codec" = "identity") -> None:
+    def __init__(
+        self,
+        codec: "str | Codec" = "identity",
+        faults: "str | FaultPlan | None" = None,
+        deadline: float | None = None,
+    ) -> None:
         self.codec = make_codec(codec)
+        self.fault_plan = make_fault_plan(faults)
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be > 0 seconds, got {deadline}")
+        self.deadline = deadline
+        #: The most recent round's fault outcome (who dropped and why,
+        #: injected straggler seconds, rebuilt worker slots).  Always
+        #: refreshed by run_round, even for fault-free rounds.
+        self.last_fault_report: RoundFaultReport | None = None
 
     def run_round(
         self,
@@ -309,6 +364,15 @@ class SerialExecutor(Executor):
     keeps this engine zero-copy.  Lossy codecs *are* round-tripped (one
     broadcast round-trip per round, one upload round-trip per update) so a
     quantized run traces identically here and on the parallel engine.
+
+    Faults inject in-process: dropped-before-dispatch clients are simply
+    skipped, survivor stragglers really sleep their injected delay, crash
+    victims are skipped at the point the parallel engine's worker would
+    die, and corrupted uploads are poisoned then rejected by the same
+    validation the parallel server runs — so a faulty run's trace matches
+    the parallel engines bit-for-bit.  A round ``deadline`` on this engine
+    is *cooperative* (no preemption in-process): it only decides which
+    injected stragglers/hangs are dropped up front.
     """
 
     def run_round(
@@ -320,24 +384,84 @@ class SerialExecutor(Executor):
         round_index: int,
         seeds: Sequence[int],
     ) -> list[ClientUpdate]:
+        actions = (
+            self.fault_plan.actions_for_round(
+                [client.client_id for client in participants],
+                round_index,
+                self.deadline,
+            )
+            if self.fault_plan is not None
+            else None
+        )
+        report = RoundFaultReport(
+            round_index=round_index,
+            straggler_seconds=actions.straggler_seconds if actions else 0.0,
+        )
+        if actions:
+            report.dropped.update(actions.skipped)
         # What a worker would train from: identical to global_state for
         # lossless codecs, the dequantized broadcast for lossy ones.
         wire_state = self.codec.roundtrip(global_state)
         updates = []
         for client, seed in zip(participants, seeds):
+            fault = None
+            if actions is not None:
+                if client.client_id in actions.skipped:
+                    continue
+                fault = actions.injected.get(client.client_id)
+            if fault is not None and fault.kind == "crash":
+                # The parallel victim dies on task receipt, after the
+                # server's dispatch-time scratch sync; mirror that sync
+                # point so dirty-tracking stays engine-invariant.
+                client.scratch.collect_delta()
+                report.dropped[client.client_id] = "crash"
+                continue
+            if fault is not None and fault.kind == "hang":
+                # No preemption in-process: approximate the parallel
+                # engine's wall-clock timeout with the cooperative rule.
+                if self.deadline is not None and (
+                    fault.delay_seconds >= self.deadline
+                ):
+                    report.dropped[client.client_id] = "deadline"
+                    continue
             model.load_state_dict(wire_state)
             # Same sync point the parallel engine has before each task: any
             # server-side scratch edits are "shipped" to the training side —
             # a no-op in-process — so the upload delta carries only what the
             # update itself writes, identically on every engine.
             client.scratch.collect_delta()
+            if fault is not None and fault.kind in ("straggler", "hang"):
+                time.sleep(fault.delay_seconds)
             update = _timed_local_update(strategy, client, model, round_index, seed)
+            if fault is not None:
+                if fault.kind in ("straggler", "hang"):
+                    update.straggler_seconds = fault.delay_seconds
+                elif fault.kind == "corrupt":
+                    update.state = poison_state(update.state)
             if not self.codec.lossless:
                 # Mirror the upload hop: the server-side aggregation must
                 # consume exactly what a decoded wire upload would hold.
                 update.state = self.codec.roundtrip(update.state)
+            if self.fault_plan is not None and state_is_corrupt(update.state):
+                # Same acceptance check the parallel server runs on every
+                # decoded upload: the weights are distrusted, the scratch
+                # is not (in-process it was already applied in place).
+                report.dropped[client.client_id] = "corrupt"
+                continue
             updates.append(update)
+        self.last_fault_report = report
         return updates
+
+
+class _DroppedTask:
+    """Sentinel standing in for a task future that will never produce an
+    update (the crash victim, or a client given up on after re-execution
+    also lost its worker); collection records the drop and moves on."""
+
+    __slots__ = ("reason",)
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
 
 
 # -- process-pool engine ------------------------------------------------------
@@ -451,8 +575,15 @@ def _ensure_round_state(round_index: int) -> float:
     return decode_seconds
 
 
-def _run_resident_task(task: tuple[int, int, int, bytes | None]) -> bytes:
-    client_id, round_index, seed, scratch_sync = task
+def _run_resident_task(
+    task: "tuple[int, int, int, bytes | None, FaultEvent | None]",
+) -> bytes:
+    client_id, round_index, seed, scratch_sync, fault = task
+    if fault is not None and fault.kind == "crash":
+        # Simulate a hard worker crash: no cleanup, no exception back up
+        # the pipe — the pool just loses this process, exactly like a
+        # kill -9.  os._exit skips atexit/finalizers on purpose.
+        os._exit(1)
     if _WORKER_MODEL is None or _WORKER_STRATEGY is None:  # pragma: no cover
         raise RuntimeError("worker received a task before init/broadcast")
     decode_seconds = _ensure_round_state(round_index)
@@ -461,11 +592,24 @@ def _run_resident_task(task: tuple[int, int, int, bytes | None]) -> bytes:
         raise RuntimeError(f"client {client_id} is not resident on this worker")
     if scratch_sync is not None:
         client.scratch.apply_delta(decode_payload(scratch_sync))
+    straggler_seconds = 0.0
+    if fault is not None and fault.kind in ("straggler", "hang"):
+        # Injected slowness, slept before the update so train_seconds
+        # keeps measuring genuine compute.  A "hang" sleeps past the
+        # server's round deadline; the server drops it and absorbs the
+        # eventual result as a zombie.
+        time.sleep(fault.delay_seconds)
+        straggler_seconds = fault.delay_seconds
     _WORKER_MODEL.load_state_dict(_WORKER_STATE)
     update = _timed_local_update(
         _WORKER_STRATEGY, client, _WORKER_MODEL, round_index, seed
     )
     update.decode_seconds = decode_seconds
+    update.straggler_seconds = straggler_seconds
+    if fault is not None and fault.kind == "corrupt":
+        # Poison *before* the codec, like a corrupted upload on a real
+        # wire; the server's acceptance check catches it after decode.
+        update.state = poison_state(update.state)
     # Codec-encode the upload; ``update.state`` carries the Payload across
     # the wire and the server restores a decoded state before anyone else
     # sees the update.
@@ -515,6 +659,32 @@ class ParallelExecutor(Executor):
         copy per round, and ``"auto"`` (default) prefers ``shm`` when the
         platform supports it.  Negotiated at pool build like the codec;
         purely mechanical — traces are transport-invariant.
+    faults:
+        Deterministic chaos schedule (:class:`repro.fl.faults.FaultPlan`
+        or its spec string); injected faults travel inside the task
+        tuples, so workers need no plan of their own.
+    deadline:
+        Wall-clock budget per round, in seconds, measured from the moment
+        the round's tasks have all been dispatched (so time spent
+        absorbing a previous round's straggler into registration does not
+        eat the new round's budget).  When it expires the round *closes
+        with whatever updates arrived*: outstanding clients are dropped
+        (reason ``"deadline"``), their still-running tasks are absorbed —
+        the slot keeps FIFO order, so the zombie result is drained and
+        discarded next round and the client is re-registered before its
+        next participation — and if *nothing* arrived the round raises
+        :class:`repro.fl.faults.RoundTimeoutError` with the offending
+        client ids instead of blocking forever on a hung worker.
+
+    Crashed pool slots are rebuilt in place: the slot's process is
+    replaced, the round's broadcast is re-published to it (full-frame for
+    stateful codecs — the dead worker's reference chain died with it),
+    the clients whose tasks were lost re-register over the existing
+    registration path from the server-side copies (which hold every
+    previously synced scratch delta), and the lost tasks re-run with
+    their original seeds.  Only a plan-designated crash victim — or a
+    client whose task kills its worker twice — is dropped, so the
+    surviving set matches the serial engine exactly.
 
     Each worker slot is one long-lived process (a single-worker
     :class:`~concurrent.futures.ProcessPoolExecutor`), and every client is
@@ -542,8 +712,10 @@ class ParallelExecutor(Executor):
         start_method: str | None = None,
         codec: "str | Codec" = "identity",
         transport: "str | Transport" = "auto",
+        faults: "str | FaultPlan | None" = None,
+        deadline: float | None = None,
     ) -> None:
-        super().__init__(codec=codec)
+        super().__init__(codec=codec, faults=faults, deadline=deadline)
         if num_workers is not None and num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = num_workers or _default_workers()
@@ -560,6 +732,15 @@ class ParallelExecutor(Executor):
         self.broadcast_decode_rounds: list[float] = []
         self._pools: list[_ProcessPool] | None = None
         self._pool_architecture: tuple | None = None
+        self._pool_initargs: tuple | None = None
+        self._mp_context = None
+        # (home, future) pairs a round deadline left behind: the slot's
+        # FIFO order means they finish before anything later touches
+        # their worker; their results are drained and discarded (the
+        # client was dropped, its scratch re-ships at re-registration).
+        # The home is remembered so close() can kill — rather than join —
+        # a slot whose zombie turns out to be genuinely wedged.
+        self._zombie_futures: "list[tuple[int, Future]]" = []
         # client_id -> the exact server-side object resident on its home
         # worker.  Strong references on purpose: identity (``is``) decides
         # re-registration, and a dead object's id must not be recycled into
@@ -619,20 +800,98 @@ class ParallelExecutor(Executor):
             self.close()
         if self._pools is None:
             model_blob = encode_payload(model)
-            context = multiprocessing.get_context(self.start_method)
+            self._mp_context = multiprocessing.get_context(self.start_method)
+            self._pool_initargs = (
+                model_blob, self.codec.spec, self.transport.name,
+            )
             self._pools = [
-                _ProcessPool(
-                    max_workers=1,
-                    mp_context=context,
-                    initializer=_worker_init,
-                    initargs=(model_blob, self.codec.spec, self.transport.name),
-                )
-                for _ in range(self.num_workers)
+                self._new_slot_pool() for _ in range(self.num_workers)
             ]
             self._pool_architecture = architecture
             self.wire.registration_bytes += len(model_blob) * self.num_workers
             self.wire.unique_registration_bytes += len(model_blob)
         return self._pools
+
+    def _new_slot_pool(self) -> _ProcessPool:
+        """One worker slot: a single-process pool built from the saved
+        init recipe (also how a crashed slot is rebuilt mid-round)."""
+        return _ProcessPool(
+            max_workers=1,
+            mp_context=self._mp_context,
+            initializer=_worker_init,
+            initargs=self._pool_initargs,
+        )
+
+    @staticmethod
+    def _slot_is_dead(pool: _ProcessPool) -> bool:
+        """Whether a slot's process is known-broken or silently gone (a
+        fresh pool with no process spawned yet counts as healthy)."""
+        if getattr(pool, "_broken", False):
+            return True
+        processes = getattr(pool, "_processes", None) or {}
+        return any(not process.is_alive() for process in processes.values())
+
+    def _replace_slot(
+        self, pools: list[_ProcessPool], home: int, report: RoundFaultReport
+    ) -> _ProcessPool:
+        """Tear down one slot's dead pool and stand up a fresh process.
+
+        Worker-resident state died with the process, so the slot's
+        residents are evicted (they re-register from the server-side
+        copies before their next task) and its broadcast reference chain
+        is cleared (the next broadcast to this slot is a full frame).
+        Server-side *upload* reference chains are left alone: uploads
+        that outran the crash still decode against them, and
+        re-registration resets both endpoints.
+        """
+        report.rebuilt_workers += 1
+        pools[home].shutdown(wait=False)
+        pools[home] = pool = self._new_slot_pool()
+        if self._pool_initargs is not None:
+            # The model template re-ships with the fresh process.
+            self.wire.registration_bytes += len(self._pool_initargs[0])
+        for client_id in [
+            cid for cid in self._resident if self._home(cid) == home
+        ]:
+            self._resident.pop(client_id)
+        self._bcast_refs.pop(home, None)
+        return pool
+
+    @staticmethod
+    def _submit_task(
+        pools: list[_ProcessPool], home: int, task: tuple
+    ) -> Future:
+        """Submit one task, converting a dead pool into a failed future so
+        collection's broken-slot recovery handles both cases uniformly (a
+        crash can land between the health check and this submit)."""
+        try:
+            return pools[home].submit(_run_resident_task, task)
+        except _BrokenPool as exc:
+            failed: Future = Future()
+            failed.set_exception(exc)
+            return failed
+
+    def _register_clients(
+        self, pool: _ProcessPool, home: int, clients: "list[Client]"
+    ) -> Future:
+        """Ship ``clients`` to their home slot in one registration blob and
+        mirror the sync points server-side (scratch marked clean, upload
+        reference chains reset on both endpoints)."""
+        blob = encode_payload(clients)
+        self.wire.registration_bytes += len(blob)
+        # Each client ships to exactly one home, so the blob is already
+        # fan-out-free and counts unchanged toward the unique floor.
+        self.wire.unique_registration_bytes += len(blob)
+        future = pool.submit(_worker_register, blob)
+        for client in clients:
+            # Mirror the worker-side sync point: from here on, only
+            # deltas travel in either direction.
+            client.scratch.mark_clean()
+            self._resident[client.client_id] = client
+            # ...and the worker-side chain reset: a fresh resident's
+            # first upload is a full frame again.
+            self._upload_refs.pop(client.client_id, None)
+        return future
 
     def _register_new_participants(
         self, pools: list[_ProcessPool], participants: Sequence[Client]
@@ -643,24 +902,10 @@ class ParallelExecutor(Executor):
         for client in participants:
             if self._resident.get(client.client_id) is not client:
                 newcomers.setdefault(self._home(client.client_id), []).append(client)
-        if not newcomers:
-            return
-        futures: list[Future] = []
-        for home, clients in sorted(newcomers.items()):
-            blob = encode_payload(clients)
-            self.wire.registration_bytes += len(blob)
-            # Each client ships to exactly one home, so the blob is already
-            # fan-out-free and counts unchanged toward the unique floor.
-            self.wire.unique_registration_bytes += len(blob)
-            futures.append(pools[home].submit(_worker_register, blob))
-            for client in clients:
-                # Mirror the worker-side sync point: from here on, only
-                # deltas travel in either direction.
-                client.scratch.mark_clean()
-                self._resident[client.client_id] = client
-                # ...and the worker-side chain reset: a fresh resident's
-                # first upload is a full frame again.
-                self._upload_refs.pop(client.client_id, None)
+        futures = [
+            self._register_clients(pools[home], home, clients)
+            for home, clients in sorted(newcomers.items())
+        ]
         for future in futures:
             future.result()  # surface registration errors before any task
 
@@ -674,7 +919,44 @@ class ParallelExecutor(Executor):
         seeds: Sequence[int],
     ) -> list[ClientUpdate]:
         pools = self._ensure_pools(model)
-        self._register_new_participants(pools, participants)
+        self._drain_zombies()
+
+        actions = (
+            self.fault_plan.actions_for_round(
+                [client.client_id for client in participants],
+                round_index,
+                self.deadline,
+            )
+            if self.fault_plan is not None
+            else None
+        )
+        report = RoundFaultReport(
+            round_index=round_index,
+            straggler_seconds=actions.straggler_seconds if actions else 0.0,
+        )
+        injected: dict[int, FaultEvent] = actions.injected if actions else {}
+        if actions:
+            # Plan-skipped clients (dropouts, over-deadline stragglers)
+            # never dispatch: they neither register nor receive a task,
+            # exactly as an unreachable client would behave.
+            report.dropped.update(actions.skipped)
+            dispatch_pairs = [
+                (client, seed)
+                for client, seed in zip(participants, seeds)
+                if client.client_id not in actions.skipped
+            ]
+        else:
+            dispatch_pairs = list(zip(participants, seeds))
+        dispatched = [client for client, _ in dispatch_pairs]
+        for home in range(self.num_workers):
+            # A worker that died outside any round (infrastructure
+            # failure, an external kill) is indistinguishable from a warm
+            # slot until something is submitted to it; replace it now so
+            # this round re-registers its clients instead of feeding a
+            # broken pool.
+            if self._slot_is_dead(pools[home]):
+                self._replace_slot(pools, home, report)
+        self._register_new_participants(pools, dispatched)
 
         # One broadcast per participating worker, not per task.  The state
         # is codec-encoded against each worker's reference chain; workers
@@ -684,7 +966,7 @@ class ParallelExecutor(Executor):
         # per round no matter how many workers fan out.
         encode_start = time.perf_counter()
         strategy_blob = encode_payload(strategy)
-        homes = sorted({self._home(client.client_id) for client in participants})
+        homes = sorted({self._home(client.client_id) for client in dispatched})
         handle_for_ref: dict[int, object] = {}
         handle_of: dict[int, object] = {}
         self.wire.unique_broadcast_bytes += len(strategy_blob)
@@ -715,53 +997,108 @@ class ParallelExecutor(Executor):
             # lazy inside the first task (_ensure_round_state) — worker A
             # trains while worker B's blob is still in its pipe.
             dispatch_start = time.perf_counter()
-            broadcast_futures = [
-                pools[home].submit(
-                    _worker_broadcast, strategy_blob, handle_of[home], round_index
-                )
-                for home in homes
-            ]
+            broadcast_futures = []
+            for home in homes:
+                try:
+                    broadcast_futures.append(
+                        (
+                            home,
+                            pools[home].submit(
+                                _worker_broadcast, strategy_blob,
+                                handle_of[home], round_index,
+                            ),
+                        )
+                    )
+                except _BrokenPool:
+                    pass  # collection rebuilds the slot and re-broadcasts
 
             # Constant-size tasks; the scratch sync blob is None unless
             # server-side code touched the client's scratch since the last
-            # sync.
-            task_futures: list[Future] = []
-            for client, seed in zip(participants, seeds):
+            # sync.  A fault-plan event for this (client, round) rides in
+            # the task tuple, so workers need no plan state of their own.
+            pending: "list[list]" = []
+            for client, seed in dispatch_pairs:
                 server_delta = client.scratch.collect_delta()
                 sync_blob = encode_payload(server_delta) if server_delta else None
-                task = (client.client_id, round_index, seed, sync_blob)
+                fault = injected.get(client.client_id)
+                task = (client.client_id, round_index, seed, sync_blob, fault)
                 # Count the fixed fields exactly but never re-pickle the
                 # sync blob (it can be dataset-scale); its pickle framing
                 # is noise.
                 self.wire.task_bytes += len(
                     pickle.dumps(
-                        (client.client_id, round_index, seed, None),
+                        (client.client_id, round_index, seed, None, fault),
                         protocol=pickle.HIGHEST_PROTOCOL,
                     )
                 ) + (len(sync_blob) if sync_blob is not None else 0)
-                task_futures.append(
-                    pools[self._home(client.client_id)].submit(
-                        _run_resident_task, task
-                    )
+                pending.append(
+                    [
+                        client,
+                        seed,
+                        self._submit_task(
+                            pools, self._home(client.client_id), task
+                        ),
+                    ]
                 )
+
+            # The deadline clock starts once the whole round is in
+            # flight: from here, collection is bounded no matter what the
+            # workers do.
+            deadline_at = (
+                None
+                if self.deadline is None
+                else time.perf_counter() + self.deadline
+            )
 
             # With the tasks already queued behind them, resolving the
             # broadcast futures costs no overlap; it surfaces transport
             # errors with their original traceback and yields each
             # handler's entry timestamp for the dispatch-latency
             # measurement (max across workers = the barrier a blocking
-            # broadcast would have imposed).
+            # broadcast would have imposed).  Under a deadline the wait is
+            # bounded: a slot still stuck on an absorbed straggler gets
+            # its handler entry skipped, and a slot that died is left for
+            # task collection to rebuild.
             dispatch = 0.0
-            for future in broadcast_futures:
-                dispatch = max(dispatch, future.result() - dispatch_start)
+            for home, future in broadcast_futures:
+                try:
+                    timeout = (
+                        None
+                        if deadline_at is None
+                        else max(0.0, deadline_at - time.perf_counter())
+                    )
+                    dispatch = max(
+                        dispatch, future.result(timeout=timeout) - dispatch_start
+                    )
+                except _FuturesTimeout:
+                    self._zombie_futures.append((home, future))
+                except _BrokenPool:
+                    pass  # collection rebuilds the slot when it gets there
 
-            self._collect_uploads(participants, task_futures, updates)
+            self._collect_uploads(
+                pools, pending, updates, round_index, strategy_blob,
+                global_state, deadline_at, injected, report,
+            )
         finally:
             # Unlink this round's segments even when dispatch, a worker, or
             # an upload failed — callers that catch the error must not
             # retain blob-sized shared memory until the next successful
             # round or close().
             self.transport.end_round()
+            self.last_fault_report = report
+        if not updates and any(
+            reason == "deadline" for reason in report.dropped.values()
+        ):
+            # The deadline expired with nothing at all to aggregate: that
+            # is a failed round, not a gracefully partial one.
+            raise RoundTimeoutError(
+                round_index,
+                tuple(
+                    client_id
+                    for client_id, reason in report.dropped.items()
+                    if reason == "deadline"
+                ),
+            )
         # The per-round timing lists advance in lockstep, and only for
         # rounds that completed (the bench indexes them together).
         self.broadcast_encode_rounds.append(encode_seconds)
@@ -773,14 +1110,64 @@ class ParallelExecutor(Executor):
 
     def _collect_uploads(
         self,
-        participants: Sequence[Client],
-        task_futures: "list[Future]",
+        pools: list[_ProcessPool],
+        pending: "list[list]",
         updates: list[ClientUpdate],
+        round_index: int,
+        strategy_blob: bytes,
+        global_state: StateDict,
+        deadline_at: float | None,
+        injected: "dict[int, FaultEvent]",
+        report: RoundFaultReport,
     ) -> None:
         """Drain the round's upload futures into ``updates`` in sampling
-        order, decoding states and syncing scratch along the way."""
-        for client, future in zip(participants, task_futures):
-            blob = self.transport.recv_upload(future.result())
+        order, decoding states and syncing scratch along the way.
+
+        ``pending`` rows are ``[client, seed, future_or_sentinel]`` and may
+        be rewritten mid-collection: a crashed slot replaces its lost
+        rows with re-submissions (or :class:`_DroppedTask` sentinels), and
+        a row whose future misses the deadline is dropped in place — so
+        survivors always land in ``updates`` in sampling order, which
+        keeps the aggregation's floating-point reduction order (and hence
+        the whole trace) engine-invariant.
+        """
+        suspects: set[int] = set()
+        index = 0
+        while index < len(pending):
+            client, seed, future = pending[index]
+            if isinstance(future, _DroppedTask):
+                report.dropped[client.client_id] = future.reason
+                index += 1
+                continue
+            try:
+                timeout = (
+                    None
+                    if deadline_at is None
+                    else max(0.0, deadline_at - time.perf_counter())
+                )
+                wire = future.result(timeout=timeout)
+            except _FuturesTimeout:
+                # Round deadline: close without this client.  The task is
+                # absorbed — the slot's FIFO order lets it finish harmlessly
+                # and the result is drained as a zombie next round — and the
+                # client re-registers before its next participation, because
+                # the worker-side copy diverges the moment the absorbed
+                # update completes.
+                report.dropped[client.client_id] = "deadline"
+                self._zombie_futures.append(
+                    (self._home(client.client_id), future)
+                )
+                self._resident.pop(client.client_id, None)
+                index += 1
+                continue
+            except _BrokenPool:
+                self._recover_broken_slot(
+                    pools, self._home(client.client_id), pending, index,
+                    round_index, strategy_blob, global_state, injected,
+                    suspects, report,
+                )
+                continue  # re-examine this row: re-submitted or sentinel
+            blob = self.transport.recv_upload(wire)
             self.wire.upload_bytes += len(blob)
             update: ClientUpdate = decode_payload(blob)
             # Restore the codec-encoded state before anything downstream
@@ -803,16 +1190,146 @@ class ParallelExecutor(Executor):
             # Sync the server-side copy; applying (rather than recording)
             # keeps its dirty set empty, so nothing bounces back next round.
             client.scratch.apply_delta(update.scratch_delta)
+            if self.fault_plan is not None and state_is_corrupt(update.state):
+                # Acceptance check on every decoded upload: distrust the
+                # weights, keep the scratch (applied above — the serial
+                # engine's in-process run mutates it the same way), and
+                # leave both reference chains advanced so the next delta
+                # still decodes bit-exactly.
+                report.dropped[client.client_id] = "corrupt"
+                index += 1
+                continue
             updates.append(update)
+            index += 1
+
+    def _recover_broken_slot(
+        self,
+        pools: list[_ProcessPool],
+        home: int,
+        pending: "list[list]",
+        index: int,
+        round_index: int,
+        strategy_blob: bytes,
+        global_state: StateDict,
+        injected: "dict[int, FaultEvent]",
+        suspects: set[int],
+        report: RoundFaultReport,
+    ) -> None:
+        """A slot's process died mid-round: rebuild it in place and re-run
+        what the crash took with it.
+
+        The plan's crash victim (and any client whose task has killed a
+        worker twice — a deterministic poison pill would loop forever) is
+        dropped; every other lost task re-registers its client from the
+        server-side copy and re-runs with its original seed, so the
+        surviving set — and the trace — matches the serial engine.  The
+        fresh worker holds no codec reference state, so the re-broadcast
+        is a full frame.
+        """
+        pool = self._replace_slot(pools, home, report)
+        rerun: "list[list]" = []
+        head = True  # the slot runs FIFO, so the first lost row below is
+        # the task that was executing when the process died — only it can
+        # be the killer; rows queued behind it never got to run.
+        for row in pending[index:]:
+            client, _, future = row
+            if isinstance(future, _DroppedTask):
+                continue
+            if self._home(client.client_id) != home:
+                continue
+            if future.done() and future.exception() is None:
+                continue  # its result outran the crash; keep it
+            event = injected.get(client.client_id)
+            if event is not None and event.kind == "crash":
+                row[2] = _DroppedTask("crash")  # the plan's victim
+            elif head and client.client_id in suspects:
+                # Executing for the second time when its worker died: a
+                # deterministic poison pill, re-running it would rebuild
+                # the slot forever.
+                row[2] = _DroppedTask("crash")
+            else:
+                if head:
+                    suspects.add(client.client_id)
+                rerun.append(row)
+            head = False
+        if not rerun:
+            return
+        self._register_clients(
+            pool, home, [row[0] for row in rerun]
+        ).result()
+        self._broadcast_slot(pool, home, strategy_blob, global_state, round_index)
+        for row in rerun:
+            client, seed, _ = row
+            fault = injected.get(client.client_id)
+            # Registration just re-shipped the full scratch, so the task
+            # needs no sync blob.
+            task = (client.client_id, round_index, seed, None, fault)
+            self.wire.task_bytes += len(
+                pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            row[2] = self._submit_task(pools, home, task)
+
+    def _broadcast_slot(
+        self,
+        pool: _ProcessPool,
+        home: int,
+        strategy_blob: bytes,
+        global_state: StateDict,
+        round_index: int,
+    ) -> Future:
+        """Publish the round's broadcast to one (rebuilt) slot as a full
+        frame — the fresh worker has no reference chain to diff against."""
+        state_blob = encode_payload(self.codec.encode(global_state, None))
+        handle = self.transport.publish(state_blob)
+        self.wire.unique_broadcast_bytes += len(state_blob)
+        self.wire.broadcast_bytes += (
+            self.transport.publish_wire_bytes(state_blob)
+            + len(strategy_blob)
+            + self.transport.handle_wire_bytes(handle)
+        )
+        if self.codec.stateful:
+            self._bcast_refs[home] = global_state
+        return pool.submit(_worker_broadcast, strategy_blob, handle, round_index)
+
+    def _drain_zombies(self) -> None:
+        """Absorb tasks past deadlines left running: discard any finished
+        results/errors, keep waiting on the rest.  The dropped clients
+        were evicted from residency when the deadline fired, so nothing a
+        zombie computed can ever reach aggregation or scratch state."""
+        still_running = []
+        for home, future in self._zombie_futures:
+            if not future.done():
+                still_running.append((home, future))
+                continue
+            try:
+                future.result()
+            except Exception:
+                pass  # the round that owned it already closed
+        self._zombie_futures = still_running
 
     def close(self) -> None:
         if self._pools is not None:
+            # A slot still chewing on an absorbed task may be slow — or
+            # genuinely wedged, which is exactly the failure the deadline
+            # existed to survive.  Its result can never be used (the
+            # client was dropped and evicted), so kill the process rather
+            # than hand the hang to shutdown's join.
+            stuck = {
+                home
+                for home, future in self._zombie_futures
+                if not future.done()
+            }
+            for home in stuck:
+                processes = getattr(self._pools[home], "_processes", None)
+                for process in (processes or {}).values():
+                    process.kill()
             for pool in self._pools:
                 pool.shutdown(wait=True)
             self._pools = None
             self._pool_architecture = None
         self.transport.close()
         self._resident.clear()
+        self._zombie_futures.clear()  # joined (or killed) above
         # Reference chains die with their endpoints: a rebuilt pool starts
         # from full frames on both sides.
         self._bcast_refs.clear()
@@ -854,9 +1371,12 @@ def make_executor(
     participants: int | None = None,
     local_epochs: int = 1,
     transport: "str | Transport" = "auto",
+    faults: "str | FaultPlan | None" = None,
+    deadline: float | None = None,
 ) -> Executor:
-    """Build an engine from the CLI/bench knobs
-    (``--executor``/``--workers``/``--codec``/``--transport``).
+    """Build an engine from the CLI/bench knobs (``--executor`` /
+    ``--workers`` / ``--codec`` / ``--transport`` / ``--faults`` /
+    ``--deadline``).
 
     ``kind="auto"`` picks the engine via :func:`resolve_executor` from the
     optional ``participants``/``local_epochs`` hints; an explicit
@@ -867,7 +1387,9 @@ def make_executor(
     only applies to the parallel engine; the serial engine has no wire, so
     the spec is validated and then ignored — that keeps
     ``executor="auto"`` + an explicit transport resolvable to either
-    engine.
+    engine.  ``faults`` and ``deadline`` configure the fault-tolerance
+    layer (:mod:`repro.fl.faults`) on whichever engine results — both
+    engines honour them, so a chaos run is valid under ``auto``.
     """
     if isinstance(transport, str):
         resolve_transport(transport)  # reject typos for every engine kind
@@ -883,9 +1405,12 @@ def make_executor(
                 "workers only applies to the parallel executor; "
                 "pass kind='parallel' or drop the workers count"
             )
-        return SerialExecutor(codec=codec)
+        return SerialExecutor(codec=codec, faults=faults, deadline=deadline)
     if kind == "parallel":
-        return ParallelExecutor(num_workers=workers, codec=codec, transport=transport)
+        return ParallelExecutor(
+            num_workers=workers, codec=codec, transport=transport,
+            faults=faults, deadline=deadline,
+        )
     raise ValueError(
         f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}"
     )

@@ -1,0 +1,389 @@
+"""Deterministic fault injection and round-robustness primitives.
+
+PARDON's headline claim is *robustness*, yet a federated system's first
+robustness problem is mechanical: clients drop out, workers crash, slow
+("straggler") clients hold a round hostage, and uploads arrive corrupted.
+This module is the chaos-engineering half of that story — a seeded,
+deterministic :class:`FaultPlan` that both execution engines
+(:mod:`repro.fl.executor`) can inject, so a faulty run is exactly as
+reproducible as a clean one — plus the shared vocabulary the engines use
+to report what a fault did to a round (:class:`RoundFaultReport`) and the
+typed error a round raises when a deadline expires with nothing to
+aggregate (:class:`RoundTimeoutError`).
+
+Determinism model
+-----------------
+Every per-(client, round) decision is a pure function of the plan: the
+fault kind fires when ``stable_hash(seed, kind, client_id, round)`` maps
+below the configured rate.  Nothing depends on wall clock, worker count,
+or sampling order, so the *observable* effect of a plan — which clients
+survive each round — is identical on the serial engine and on process
+pools of any size, which is what the chaos tests pin down bit-for-bit.
+
+Fault kinds
+-----------
+``dropout``
+    The client never responds this round: it is dropped before dispatch
+    on every engine (reason ``"dropout"``).
+``straggler``
+    The client is slow by ``delay_seconds``.  *Cooperative* semantics keep
+    traces engine-invariant: when a round deadline is configured and the
+    injected delay already exceeds it, the client is dropped up front
+    (reason ``"straggler"``) on every engine; otherwise the delay is
+    really slept inside the local update (worker-side under the parallel
+    engine) and the client survives.  The cooperative check is
+    *per client*: on the parallel engine co-resident surviving stragglers
+    still serialize on their slot's FIFO queue, so the bit-identical
+    guarantee requires the deadline to comfortably exceed the per-slot
+    *sum* of surviving injected delays plus compute — pick
+    ``deadline >> participants x straggler_delay`` (as the chaos tests
+    and benches do), or use ``hang`` when the point is to blow the
+    deadline for real.
+``hang``
+    An *uncooperative* straggler, only schedulable as an explicit
+    :class:`FaultEvent`: the parallel engine genuinely sleeps in the
+    worker and lets the server's wall-clock deadline catch it (reason
+    ``"deadline"``) — this is how the real timeout machinery is
+    chaos-tested.  The serial engine cannot preempt a running update, so
+    it approximates with the cooperative rule.
+``corrupt``
+    The local update runs, but its uploaded weights are poisoned with
+    non-finite values (:func:`poison_state`).  Engines with a fault plan
+    validate every decoded upload (:func:`state_is_corrupt`) and drop the
+    bad ones from aggregation (reason ``"corrupt"``); the update's scratch
+    delta is still applied — the style cache is not what is corrupt.
+``crash``
+    A worker process dies mid-round.  ``crash_rounds`` schedules one crash
+    in each listed round; the victim is picked deterministically among the
+    round's dispatched participants (:meth:`FaultPlan.crash_victim`).  The
+    parallel engine hard-kills the victim's home worker (``os._exit``),
+    then rebuilds the pool slot, re-registers what the re-run needs over
+    the existing registration/broadcast path, and re-executes the
+    co-resident tasks that died with the process — only the victim itself
+    is dropped (reason ``"crash"``), so the survivor set matches the
+    serial engine, which simply skips the victim.
+
+Spec strings
+------------
+``--faults`` on the CLI (and ``FederatedConfig.faults``) accepts a
+compact comma-separated spec, e.g.::
+
+    dropout=0.1,straggler=0.25:0.05,corrupt=0.05,crash=1+4,seed=7
+
+``straggler`` takes ``rate`` or ``rate:delay_seconds``; ``crash`` takes
+``+``-separated round indices.  :func:`make_fault_plan` parses it (and
+passes through ``None`` / already-built plans unchanged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import stable_hash
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "RoundActions",
+    "RoundFaultReport",
+    "RoundTimeoutError",
+    "make_fault_plan",
+    "poison_state",
+    "state_is_corrupt",
+]
+
+#: Injectable fault kinds (see the module docstring for semantics).
+FAULT_KINDS = ("dropout", "straggler", "hang", "corrupt", "crash")
+
+#: Default injected slowdown for rate-scheduled stragglers (seconds).
+DEFAULT_STRAGGLER_DELAY = 0.05
+
+
+class RoundTimeoutError(RuntimeError):
+    """A round's deadline expired with *zero* updates collected.
+
+    Partial aggregation absorbs individual stragglers (survivors are
+    aggregated, the rest are dropped and recorded), but when the deadline
+    passes and nothing at all arrived there is no state to aggregate —
+    the round failed, and the caller gets the offending client ids
+    instead of an untyped hang or a bare pool error.
+    """
+
+    def __init__(self, round_index: int, client_ids: tuple[int, ...]) -> None:
+        self.round_index = int(round_index)
+        self.client_ids = tuple(client_ids)
+        super().__init__(
+            f"round {round_index} deadline expired with no updates; "
+            f"outstanding clients: {list(self.client_ids)}"
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: ``kind`` hits ``client_id`` in ``round_index``.
+
+    ``delay_seconds`` only matters for ``straggler``/``hang`` (the
+    injected slowdown).  Events are what a plan's rate-based schedule
+    resolves to, and explicit events passed to :class:`FaultPlan` take
+    precedence over the rates — the chaos tests use them to pin exact
+    scenarios.
+    """
+
+    kind: str
+    round_index: int
+    client_id: int
+    delay_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.delay_seconds < 0:
+            raise ValueError(
+                f"delay_seconds must be >= 0, got {self.delay_seconds}"
+            )
+
+
+@dataclass
+class RoundActions:
+    """A plan's resolved decisions for one round's participant list.
+
+    ``skipped`` maps clients dropped *before dispatch* to their reason
+    (dropouts, and cooperative straggler drops when the injected delay
+    already exceeds the deadline); ``injected`` maps the remaining faulty
+    clients to the event the engine must execute inside the update
+    (sleeps, corruption, the crash victim's kill).  ``straggler_seconds``
+    is the round's total injected slowdown — a plan-derived number, so it
+    is identical on every engine.
+    """
+
+    skipped: dict[int, str] = field(default_factory=dict)
+    injected: dict[int, FaultEvent] = field(default_factory=dict)
+    straggler_seconds: float = 0.0
+
+
+@dataclass
+class RoundFaultReport:
+    """What the fault layer did to one executed round.
+
+    Engines publish one per round (:attr:`repro.fl.executor.Executor.
+    last_fault_report`); the server folds it into the run history
+    (``RoundRecord.dropped``) and the timing report
+    (``dropped_clients`` / ``straggler_seconds`` / ``rebuilt_workers``).
+    """
+
+    round_index: int = 0
+    dropped: dict[int, str] = field(default_factory=dict)
+    straggler_seconds: float = 0.0
+    rebuilt_workers: int = 0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic schedule of faults for a federated run.
+
+    Rate-based kinds fire per (client, round) when the stable hash of
+    ``(seed, kind, client_id, round)`` maps below the rate — no state, no
+    generation step, and no dependence on population size, so one plan
+    drives any engine and any sampling.  ``crash_rounds`` schedules one
+    worker crash in each listed round; ``events`` pins explicit faults
+    that override the rates for their (client, round).
+    """
+
+    seed: int = 0
+    dropout_rate: float = 0.0
+    straggler_rate: float = 0.0
+    straggler_delay: float = DEFAULT_STRAGGLER_DELAY
+    corrupt_rate: float = 0.0
+    crash_rounds: tuple[int, ...] = ()
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("dropout_rate", "straggler_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.straggler_delay < 0:
+            raise ValueError(
+                f"straggler_delay must be >= 0, got {self.straggler_delay}"
+            )
+        object.__setattr__(
+            self, "crash_rounds", tuple(int(r) for r in self.crash_rounds)
+        )
+        if any(r < 0 for r in self.crash_rounds):
+            raise ValueError(f"crash_rounds must be >= 0, got {self.crash_rounds}")
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise TypeError(f"events must be FaultEvent, got {event!r}")
+
+    # -- per-(client, round) schedule ----------------------------------------
+
+    def _chance(self, kind: str, client_id: int, round_index: int) -> float:
+        """Deterministic uniform draw in [0, 1) for one (kind, client,
+        round) cell — the whole schedule is a pure function of the seed."""
+        return stable_hash(self.seed, "fault", kind, client_id, round_index) / float(
+            1 << 63
+        )
+
+    def fault_for(self, client_id: int, round_index: int) -> FaultEvent | None:
+        """The fault hitting ``client_id`` in ``round_index``, if any.
+
+        Explicit events win; otherwise the rate-based kinds are checked in
+        a fixed precedence order (dropout, straggler, corrupt) so at most
+        one fault fires per cell.  Crashes are scheduled per *round*, not
+        per client — see :meth:`crash_victim`.
+        """
+        for event in self.events:
+            if (
+                event.client_id == client_id
+                and event.round_index == round_index
+                and event.kind != "crash"
+            ):
+                return event
+        if self._chance("dropout", client_id, round_index) < self.dropout_rate:
+            return FaultEvent("dropout", round_index, client_id)
+        if self._chance("straggler", client_id, round_index) < self.straggler_rate:
+            return FaultEvent(
+                "straggler", round_index, client_id,
+                delay_seconds=self.straggler_delay,
+            )
+        if self._chance("corrupt", client_id, round_index) < self.corrupt_rate:
+            return FaultEvent("corrupt", round_index, client_id)
+        return None
+
+    def crash_victim(
+        self, round_index: int, candidate_ids: "list[int] | tuple[int, ...]"
+    ) -> int | None:
+        """The client whose home worker crashes this round, or ``None``.
+
+        An explicit crash event names its victim directly (and only fires
+        if that client is actually among the candidates); a scheduled
+        ``crash_rounds`` entry picks deterministically from the sorted
+        candidate list, so every engine agrees on the victim.
+        """
+        candidates = sorted(set(candidate_ids))
+        for event in self.events:
+            if event.kind == "crash" and event.round_index == round_index:
+                return event.client_id if event.client_id in candidates else None
+        if round_index in self.crash_rounds and candidates:
+            pick = stable_hash(self.seed, "crash", round_index) % len(candidates)
+            return candidates[pick]
+        return None
+
+    def actions_for_round(
+        self,
+        participant_ids: "list[int] | tuple[int, ...]",
+        round_index: int,
+        deadline: float | None,
+    ) -> RoundActions:
+        """Resolve the plan against one round's participant list.
+
+        This is the single decision point both engines share: who is
+        skipped before dispatch (and why), which dispatched clients carry
+        an injected fault, and the round's plan-derived straggler budget.
+        """
+        actions = RoundActions()
+        for client_id in participant_ids:
+            event = self.fault_for(client_id, round_index)
+            if event is None:
+                continue
+            if event.kind == "dropout":
+                actions.skipped[client_id] = "dropout"
+            elif event.kind == "straggler":
+                actions.straggler_seconds += event.delay_seconds
+                if deadline is not None and event.delay_seconds >= deadline:
+                    actions.skipped[client_id] = "straggler"
+                else:
+                    actions.injected[client_id] = event
+            else:  # hang / corrupt execute inside the update
+                actions.injected[client_id] = event
+        victim = self.crash_victim(
+            round_index,
+            [cid for cid in participant_ids if cid not in actions.skipped],
+        )
+        if victim is not None:
+            actions.injected[victim] = FaultEvent("crash", round_index, victim)
+        return actions
+
+
+def make_fault_plan(spec: "str | FaultPlan | None") -> FaultPlan | None:
+    """Build a :class:`FaultPlan` from a CLI spec string.
+
+    ``None`` and already-built plans pass through unchanged — the same
+    convention as :func:`repro.fl.codec.make_codec` and
+    :func:`repro.fl.transport.make_transport`, so every API taking a plan
+    accepts any of the three forms.
+    """
+    if spec is None or isinstance(spec, FaultPlan):
+        return spec
+    if not isinstance(spec, str) or not spec.strip():
+        raise TypeError(f"fault spec must be a non-empty string, got {spec!r}")
+    kwargs: dict[str, object] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part or "=" not in part:
+            raise ValueError(
+                f"bad fault spec item {part!r} in {spec!r}; expected key=value"
+            )
+        key, _, value = part.partition("=")
+        key = key.strip()
+        value = value.strip()
+        try:
+            if key == "dropout":
+                kwargs["dropout_rate"] = float(value)
+            elif key == "straggler":
+                rate, _, delay = value.partition(":")
+                kwargs["straggler_rate"] = float(rate)
+                if delay:
+                    kwargs["straggler_delay"] = float(delay)
+            elif key == "corrupt":
+                kwargs["corrupt_rate"] = float(value)
+            elif key == "crash":
+                kwargs["crash_rounds"] = tuple(
+                    int(r) for r in value.split("+") if r
+                )
+            elif key == "seed":
+                kwargs["seed"] = int(value)
+            else:
+                raise ValueError(
+                    f"unknown fault spec key {key!r} in {spec!r}; expected "
+                    f"dropout, straggler, corrupt, crash, or seed"
+                )
+        except ValueError as exc:
+            if "fault spec" in str(exc):
+                raise
+            raise ValueError(
+                f"bad value {value!r} for {key!r} in fault spec {spec!r}"
+            ) from exc
+    return FaultPlan(**kwargs)
+
+
+def poison_state(state: dict) -> dict:
+    """A corrupted copy of ``state``: the first tensor is all-NaN.
+
+    Used by the ``corrupt`` fault to simulate a damaged upload.  The
+    poison is injected *before* the wire codec, so it survives any
+    lossless pipeline; detection (:func:`state_is_corrupt`) runs on the
+    decoded server-side state, exactly where real validation would sit.
+    """
+    poisoned = dict(state)
+    for key, value in poisoned.items():
+        value = np.asarray(value)
+        if np.issubdtype(value.dtype, np.floating):
+            poisoned[key] = np.full_like(value, np.nan)
+            break
+    return poisoned
+
+
+def state_is_corrupt(state: dict) -> bool:
+    """Whether any tensor in ``state`` carries a non-finite value — the
+    server-side acceptance check engines run on every decoded upload when
+    a fault plan is active."""
+    return any(
+        not np.isfinite(np.asarray(value)).all() for value in state.values()
+    )

@@ -9,12 +9,25 @@ __all__ = ["RoundRecord", "RunHistory"]
 
 @dataclass
 class RoundRecord:
-    """Metrics of one communication round."""
+    """Metrics of one communication round.
+
+    ``participants`` is who the sampler *selected*; ``dropped`` maps the
+    selected clients that produced no aggregated update to the reason the
+    fault layer recorded (``"dropout"``, ``"straggler"``, ``"deadline"``,
+    ``"corrupt"``, ``"crash"`` — see :mod:`repro.fl.faults`).  Aggregation
+    reweighted over the survivors: ``participants`` minus ``dropped``.
+    """
 
     round_index: int
     mean_local_loss: float
     participants: list[int]
     eval_accuracy: dict[str, float] = field(default_factory=dict)
+    dropped: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def survivors(self) -> list[int]:
+        """The selected clients whose updates reached aggregation."""
+        return [cid for cid in self.participants if cid not in self.dropped]
 
 
 @dataclass

@@ -23,6 +23,7 @@ from repro.fl.evaluation import evaluate_accuracy
 from repro.fl.client import Client
 from repro.fl.codec import make_codec
 from repro.fl.executor import Executor, SerialExecutor
+from repro.fl.faults import make_fault_plan
 from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.sampling import UniformClientSampler
 from repro.fl.strategy import Strategy
@@ -58,6 +59,14 @@ class FederatedConfig:
     caller-supplied engine: the transport moves byte-identical blobs and
     cannot change what clients train from, so mixing (say) a pipe-transport
     pool into an ``"auto"`` config is mechanically harmless.
+
+    ``faults`` names a deterministic fault-injection plan
+    (:mod:`repro.fl.faults` spec string, e.g.
+    ``"dropout=0.1,straggler=0.25:0.05,crash=2,seed=7"``) and ``deadline``
+    a per-round wall-clock budget in seconds; both change *who survives a
+    round* and therefore belong to the experiment definition, so — like
+    the codec — a caller-supplied engine must agree with them (checked at
+    server construction).
     """
 
     num_rounds: int = 10
@@ -66,20 +75,28 @@ class FederatedConfig:
     seed: int = 0
     codec: str = "identity"
     transport: str = "auto"
+    faults: str | None = None
+    deadline: float | None = None
 
     def __post_init__(self) -> None:
         if self.num_rounds < 1:
             raise ValueError(f"num_rounds must be >= 1, got {self.num_rounds}")
         if self.eval_every < 1:
             raise ValueError(f"eval_every must be >= 1, got {self.eval_every}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(
+                f"deadline must be > 0 seconds, got {self.deadline}"
+            )
         # Participation validation lives with the sampler (the single source
         # of truth for the count-vs-fraction convention); constructing one
         # surfaces bad values at config time with the sampler's own errors.
         UniformClientSampler(self.clients_per_round)
         # Same pattern for the codec spec: fail at config time, not mid-run.
         make_codec(self.codec)
-        # ...and the transport spec ("auto" resolves per platform).
+        # ...and the transport spec ("auto" resolves per platform)...
         resolve_transport(self.transport)
+        # ...and the fault-plan spec.
+        make_fault_plan(self.faults)
 
 
 @dataclass
@@ -139,12 +156,36 @@ class FederatedServer:
         self.eval_sets = eval_sets
         self.config = config
         self._owns_executor = executor is None
-        self.executor = executor or SerialExecutor(codec=config.codec)
+        self.executor = executor or SerialExecutor(
+            codec=config.codec, faults=config.faults, deadline=config.deadline
+        )
         if self.executor.codec.spec != make_codec(config.codec).spec:
             raise ValueError(
                 f"executor carries codec {self.executor.codec.spec!r} but "
                 f"the config asks for {config.codec!r}; build the engine "
                 f"with the config's codec (make_executor(..., codec=...))"
+            )
+        # Faults and deadlines change who survives a round, so a config
+        # that asks for them must not be paired with an engine that won't
+        # apply them (the reverse — engine-level chaos under a plain
+        # config — is a deliberate testing pattern and stays allowed).
+        if config.faults is not None and (
+            self.executor.fault_plan != make_fault_plan(config.faults)
+        ):
+            raise ValueError(
+                f"executor carries fault plan {self.executor.fault_plan!r} "
+                f"but the config asks for {config.faults!r}; build the "
+                f"engine with the config's plan (make_executor(..., "
+                f"faults=...))"
+            )
+        if config.deadline is not None and (
+            self.executor.deadline != config.deadline
+        ):
+            raise ValueError(
+                f"executor carries deadline {self.executor.deadline!r} but "
+                f"the config asks for {config.deadline!r}; build the engine "
+                f"with the config's deadline (make_executor(..., "
+                f"deadline=...))"
             )
         self.sampler = UniformClientSampler(config.clients_per_round)
         self._seed_tree = SeedTree(config.seed).child("server", strategy.name)
@@ -196,6 +237,19 @@ class FederatedServer:
             for update in updates:
                 timer.record_local_train(update.train_seconds)
                 timer.record_broadcast_decode(update.decode_seconds)
+            # What the fault layer did to the round: recorded on the round
+            # history (who dropped, and why) and folded into the timing
+            # report's robustness counters.  Aggregation below reweights
+            # over the survivors automatically — ``updates`` only ever
+            # holds the clients that responded in time with sane weights.
+            fault_report = self.executor.last_fault_report
+            dropped = dict(fault_report.dropped) if fault_report else {}
+            if fault_report is not None:
+                timer.record_faults(
+                    dropped_clients=len(fault_report.dropped),
+                    straggler_seconds=fault_report.straggler_seconds,
+                    rebuilt_workers=fault_report.rebuilt_workers,
+                )
             wire_now = self.executor.wire_stats()
             timer.record_bytes(
                 wire_now.bytes_up - wire_before.bytes_up,
@@ -214,6 +268,7 @@ class FederatedServer:
                 round_index=round_index,
                 mean_local_loss=float(np.mean(losses)) if losses else 0.0,
                 participants=[c.client_id for c in participants],
+                dropped=dropped,
             )
             is_last = round_index == self.config.num_rounds - 1
             if is_last or (round_index + 1) % self.config.eval_every == 0:
@@ -230,6 +285,11 @@ class FederatedServer:
                             "strategy": self.strategy.name,
                             "round": round_index,
                             "loss": record.mean_local_loss,
+                            **(
+                                {"dropped": len(record.dropped)}
+                                if record.dropped
+                                else {}
+                            ),
                             **record.eval_accuracy,
                         }
                     )

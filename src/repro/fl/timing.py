@@ -46,6 +46,14 @@ class TimingReport:
     #: ran *inside* the local phase (overlapped with training and dispatch)
     #: instead of behind a synchronous pre-round barrier.
     broadcast_decode_seconds_total: float = 0.0
+    #: Fault-tolerance counters (see repro.fl.faults): selected clients
+    #: that produced no aggregated update (dropouts, crash victims,
+    #: deadline misses, corrupt uploads), ...
+    dropped_clients: int = 0
+    #: ... total injected straggler slowdown the run absorbed, ...
+    straggler_seconds: float = 0.0
+    #: ... and worker-pool slots rebuilt after a crash.
+    rebuilt_workers: int = 0
 
     @property
     def local_train_seconds_mean(self) -> float:
@@ -88,6 +96,9 @@ class PhaseTimer:
         self._bytes_down = 0
         self._unique_bytes_down = 0
         self._decode_total = 0.0
+        self._dropped_clients = 0
+        self._straggler_seconds = 0.0
+        self._rebuilt_workers = 0
 
     @contextmanager
     def one_time(self) -> Iterator[None]:
@@ -143,6 +154,18 @@ class PhaseTimer:
             bytes_down if unique_bytes_down is None else unique_bytes_down
         )
 
+    def record_faults(
+        self,
+        dropped_clients: int = 0,
+        straggler_seconds: float = 0.0,
+        rebuilt_workers: int = 0,
+    ) -> None:
+        """Account one round's fault-tolerance outcome (see
+        :class:`repro.fl.faults.RoundFaultReport`)."""
+        self._dropped_clients += int(dropped_clients)
+        self._straggler_seconds += float(straggler_seconds)
+        self._rebuilt_workers += int(rebuilt_workers)
+
     def record_broadcast_decode(self, seconds: float) -> None:
         """Account one worker-measured lazy broadcast decode (the overlap
         window: this work ran inside the local phase, not behind a
@@ -170,4 +193,7 @@ class PhaseTimer:
             bytes_down=self._bytes_down,
             unique_bytes_down=self._unique_bytes_down,
             broadcast_decode_seconds_total=self._decode_total,
+            dropped_clients=self._dropped_clients,
+            straggler_seconds=self._straggler_seconds,
+            rebuilt_workers=self._rebuilt_workers,
         )
