@@ -42,23 +42,37 @@ the parallel engines absorb the straggler sleeps across workers (smaller
 wall-clock hit than serial), and the faulty trace still matches the
 serial faulty trace bit-for-bit.
 
+The sixth table measures the compute backends (``repro.fl.compute``) in
+the regime the ensemble backend targets: many small co-resident clients
+(the CSAC-style separated per-source populations of PAPERS.md), swept at
+K=1/4/16 clients per group on the serial engine, loop vs. ensemble.
+Shape to check: per-round wall clock crosses over around K=4 and reaches
+>= 3x at K=16, with the final aggregated state bit-identical — the
+speedup is pure dispatch fusion, not a numerics change.  The sweep is
+also written as ``BENCH_compute.json`` for machine consumers.
+
 Run directly for the full table, or with ``--smoke`` for the CI-scale
-variant (fast data scale, workers {1, 2}).  ``--codec SPEC`` runs the
-scaling table under that wire codec — the CI codec matrix uses it to check
-serial/parallel trace identity per codec — ``--transport SPEC`` runs it
-under that wire transport (the CI shm leg), and ``--faults SPEC`` (with an
-optional ``--deadline``) runs it under that fault plan — the CI chaos legs
-use it to check that a faulty trace stays engine-invariant end to end.
+variant (fast data scale, workers {1, 2}); either way, legs whose wire
+transport is unavailable on the host (shm on shm-less runners) are
+skipped with an explicit message instead of erroring.  ``--codec SPEC``
+runs the scaling table under that wire codec — the CI codec matrix uses
+it to check serial/parallel trace identity per codec — ``--transport
+SPEC`` runs it under that wire transport (the CI shm leg), ``--compute
+SPEC`` runs it under that compute backend (the CI compute legs pin
+loop-vs-ensemble trace identity), and ``--faults SPEC`` (with an optional
+``--deadline``) runs it under that fault plan — the CI chaos legs use it
+to check that a faulty trace stays engine-invariant end to end.
 """
 
 from __future__ import annotations
 
 import argparse
 import pickle
+import time
 
 import numpy as np
 
-from common import bench_rounds, emit, samples_per_class
+from common import bench_rounds, emit, emit_json, samples_per_class
 
 from repro.baselines import FedAvgStrategy
 from repro.core import PardonStrategy
@@ -69,7 +83,9 @@ from repro.fl import (
     FederatedServer,
     LocalTrainingConfig,
     ParallelExecutor,
+    SerialExecutor,
     make_executor,
+    shm_supported,
 )
 from repro.nn.models import build_cnn_model
 from repro.utils.rng import SeedTree
@@ -92,7 +108,7 @@ def _make_clients(suite):
 
 def _run_with_workers(
     suite, rounds: int, workers: int, strategy=None, codec="identity",
-    transport="auto", faults=None, deadline=None,
+    transport="auto", faults=None, deadline=None, compute="auto",
 ):
     clients = _make_clients(suite)
     model = build_cnn_model(
@@ -105,6 +121,7 @@ def _run_with_workers(
         transport=transport,
         faults=faults,
         deadline=deadline,
+        compute=compute,
     )
     server = FederatedServer(
         strategy=strategy or FedAvgStrategy(LocalTrainingConfig(batch_size=32)),
@@ -114,6 +131,7 @@ def _run_with_workers(
         config=FederatedConfig(
             num_rounds=rounds, clients_per_round=CLIENTS_PER_ROUND, seed=0,
             codec=codec, transport=transport, faults=faults, deadline=deadline,
+            compute=compute,
         ),
         executor=executor,
     )
@@ -139,7 +157,7 @@ def _trace_of(result):
 
 def _run(
     suite, worker_grid, codec="identity", transport="auto", faults=None,
-    deadline=None,
+    deadline=None, compute="auto",
 ) -> str:
     rounds = bench_rounds(4)
     rows = []
@@ -147,7 +165,7 @@ def _run(
     for workers in worker_grid:
         result, _, _ = _run_with_workers(
             suite, rounds, workers, codec=codec, transport=transport,
-            faults=faults, deadline=deadline,
+            faults=faults, deadline=deadline, compute=compute,
         )
         timing = result.timing
         trace = _trace_of(result)
@@ -178,7 +196,7 @@ def _run(
         title=(
             f"Executor scaling — {rounds} rounds, "
             f"{CLIENTS_PER_ROUND}/{NUM_CLIENTS} clients per round, "
-            f"codec={codec}, transport={transport}"
+            f"codec={codec}, transport={transport}, compute={compute}"
             + (f", faults={faults}" if faults else "")
         ),
     )
@@ -502,8 +520,126 @@ def _run_faults_table(suite, worker_grid) -> str:
     )
 
 
+def _compute_rounds(spec: str, clients, model, init_state, rounds: int):
+    """Run ``rounds`` all-clients FedAvg rounds on the serial engine under
+    one compute backend; return (final state, per-round wall seconds).
+
+    Two local epochs, as a federated round actually runs them: the fixed
+    per-round costs both backends share (state load, update extraction)
+    amortize over the epoch loop, so the table measures the training path
+    rather than the bookkeeping."""
+    strategy = FedAvgStrategy(LocalTrainingConfig(batch_size=8, local_epochs=2))
+    state = {key: value.copy() for key, value in init_state.items()}
+    tree = SeedTree(0).child("server", "compute-bench")
+    timings = []
+    with SerialExecutor(compute=spec) as executor:
+        for round_index in range(rounds):
+            seeds = [
+                tree.seed("client", client.client_id, "round", round_index)
+                for client in clients
+            ]
+            begin = time.perf_counter()
+            updates = executor.run_round(
+                strategy, model, state, clients, round_index, seeds
+            )
+            timings.append(time.perf_counter() - begin)
+            state = strategy.aggregate(state, updates, round_index)
+    return state, timings
+
+
+def _run_compute(worker_grid) -> str:
+    """Loop-vs-ensemble round time at K co-resident clients per group.
+
+    Runs in the ensemble backend's motivating regime — many small clients
+    sharing one process, where the loop backend's cost is per-client Python
+    and layer dispatch rather than BLAS time: a compute-shaped small CNN
+    (8x8 inputs, widths (6, 12)) over clients holding a handful of samples
+    each, every client participating every round, on the serial engine so
+    the grouping is a single K-stack.  At paper scale (16x16 inputs,
+    ~35-sample clients) both backends are memory-bandwidth-bound and the
+    table would flatline near x1 — the sweep deliberately measures the
+    dispatch-bound end, which is also where `auto`'s crossover with the
+    process pool moves (see AUTO_CROSSOVER_TASKS).  The warm minimum over
+    rounds 1+ is reported: round 0 pays one-time ensemble clone
+    construction and numpy warm-up, and the minimum is the schedule-noise-
+    free floor on an oversubscribed box.  ``worker_grid`` is unused (the
+    sweep is serial by construction) but kept for signature symmetry with
+    the other table builders.
+    """
+    del worker_grid
+    rounds = max(3, bench_rounds(6))
+    small = synthetic_pacs(
+        seed=0, samples_per_class=samples_per_class(8), image_size=8
+    )
+    rows = []
+    payload = {"rounds": rounds, "unit": "ms_per_round_warm_min", "sweep": []}
+    for num_clients in (1, 4, 16):
+        partition = partition_clients(
+            small, [0, 1], num_clients, 0.1, np.random.default_rng(0)
+        )
+        clients = [
+            Client(i, d) for i, d in enumerate(partition.client_datasets)
+        ]
+        model = build_cnn_model(
+            small.image_shape, small.num_classes,
+            rng=np.random.default_rng(0), widths=(6, 12), embed_dim=32,
+        )
+        init_state = {
+            key: value.copy() for key, value in model.state_dict().items()
+        }
+        loop_state, loop_times = _compute_rounds(
+            "loop", clients, model, init_state, rounds
+        )
+        ens_state, ens_times = _compute_rounds(
+            "ensemble", clients, model, init_state, rounds
+        )
+        loop_ms = 1e3 * min(loop_times[1:])
+        ens_ms = 1e3 * min(ens_times[1:])
+        identical = set(loop_state) == set(ens_state) and all(
+            np.array_equal(loop_state[key], ens_state[key])
+            for key in loop_state
+        )
+        rows.append(
+            [
+                f"{num_clients}",
+                f"{sum(c.num_samples for c in clients) // num_clients}",
+                f"{loop_ms:.2f}",
+                f"{ens_ms:.2f}",
+                f"x{loop_ms / ens_ms:.2f}",
+                "yes" if identical else "NO",
+            ]
+        )
+        payload["sweep"].append(
+            {
+                "clients": num_clients,
+                "loop_ms": round(loop_ms, 3),
+                "ensemble_ms": round(ens_ms, 3),
+                "speedup": round(loop_ms / ens_ms, 3),
+                "bitwise_identical": bool(identical),
+            }
+        )
+    emit_json("compute", payload)
+    return format_table(
+        [
+            "K (clients/group)",
+            "samples/client",
+            "loop (ms/round)",
+            "ensemble (ms/round)",
+            "speedup",
+            "state bit-identical",
+        ],
+        rows,
+        title=(
+            f"Compute backends — serial round time, loop vs. ensemble "
+            f"({rounds} rounds, 8x8 CNN, all K clients stacked per round; "
+            f"warm minimum)"
+        ),
+    )
+
+
 def _tables(suite, worker_grid, codec="identity", transport="auto",
-            faults=None, deadline=None, extra_tables=True) -> str:
+            faults=None, deadline=None, compute="auto",
+            extra_tables=True) -> str:
     """``extra_tables=False`` keeps non-default CI matrix legs to the
     scaling table alone — the wire, codec, transport, and fault sweeps
     are independent of the matrix axis and would only duplicate the
@@ -511,7 +647,7 @@ def _tables(suite, worker_grid, codec="identity", transport="auto",
     parts = [
         _run(
             suite, worker_grid, codec=codec, transport=transport,
-            faults=faults, deadline=deadline,
+            faults=faults, deadline=deadline, compute=compute,
         )
     ]
     if extra_tables:
@@ -519,6 +655,7 @@ def _tables(suite, worker_grid, codec="identity", transport="auto",
         parts.append(_run_codecs(suite))
         parts.append(_run_transports(suite, worker_grid))
         parts.append(_run_faults_table(suite, worker_grid))
+        parts.append(_run_compute(worker_grid))
     return "\n\n".join(parts)
 
 
@@ -545,6 +682,11 @@ if __name__ == "__main__":
         help="wire transport for the scaling table (CI runs pipe and shm legs)",
     )
     parser.add_argument(
+        "--compute", default="auto",
+        help="compute backend for the scaling table (the CI compute legs "
+        "use it to pin loop-vs-ensemble trace identity end to end)",
+    )
+    parser.add_argument(
         "--faults", default=None,
         help="fault-plan spec for the scaling table (the CI chaos legs use "
         "it to check that a faulty trace stays engine-invariant)",
@@ -554,6 +696,12 @@ if __name__ == "__main__":
         help="per-round wall-clock budget in seconds for the scaling table",
     )
     args = parser.parse_args()
+    if args.transport == "shm" and not shm_supported():
+        # A CI matrix leg may land on a host without the shared-memory
+        # transport (no /dev/shm, restricted sandboxes); that makes the leg
+        # vacuous, not broken.
+        print(f"SKIP: transport {args.transport!r} unavailable on this host")
+        raise SystemExit(0)
     if args.smoke:
         import os
 
@@ -565,19 +713,23 @@ if __name__ == "__main__":
         name += f"_{args.codec.replace('+', '_')}"
     if args.transport != "auto":
         name += f"_{args.transport}"
+    if args.compute != "auto":
+        name += f"_{args.compute}"
     if args.faults is not None:
         name += "_faults"
     emit(
         name,
         _tables(
             suite, grid, codec=args.codec, transport=args.transport,
-            faults=args.faults, deadline=args.deadline,
+            faults=args.faults, deadline=args.deadline, compute=args.compute,
             # The sweep tables are leg-independent (the transport sweep runs
-            # both transports itself, the fault sweep both fault settings);
-            # run them on the local default (auto) and on exactly one CI
-            # matrix leg (identity + pipe, no chaos).
+            # both transports itself, the compute sweep both backends, the
+            # fault sweep both fault settings); run them on the local
+            # default (auto) and on exactly one CI matrix leg (identity +
+            # pipe + auto, no chaos).
             extra_tables=args.codec == "identity"
             and args.transport in ("auto", "pipe")
+            and args.compute == "auto"
             and args.faults is None,
         ),
     )

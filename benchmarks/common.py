@@ -15,6 +15,7 @@ Environment knobs:
 
 from __future__ import annotations
 
+import json
 import logging
 import os
 import warnings
@@ -81,3 +82,16 @@ def emit(name: str, text: str) -> None:
     print(banner)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(banner)
+
+
+def emit_json(name: str, payload: object) -> None:
+    """Persist a machine-readable result as ``BENCH_<name>.json``.
+
+    Companion to :func:`emit` for results that downstream tooling (CI
+    trend checks, the README's measured numbers) consumes structurally
+    rather than visually.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[bench] wrote {path}")

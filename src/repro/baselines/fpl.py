@@ -18,9 +18,11 @@ from repro.clustering.finch import finch
 from repro.fl.client import Client
 from repro.fl.executor import ClientUpdate
 from repro.fl.strategy import LocalTrainingConfig, Strategy
+from repro.nn.ensemble import ensemble_cross_entropy, ensemble_state_dicts
 from repro.nn.functional import softmax
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.models import FeatureClassifierModel
+from repro.nn.module import Module
 from repro.nn.serialize import StateDict
 
 __all__ = ["FPLStrategy"]
@@ -146,6 +148,86 @@ class FPLStrategy(Strategy):
             float(np.mean(losses)) if losses else 0.0,
             payload={"prototypes": prototypes},
         )
+
+    def ensemble_update(
+        self,
+        clients: list[Client],
+        emodel: Module,
+        round_index: int,
+        rngs: list[np.random.Generator],
+    ) -> list[ClientUpdate] | None:
+        """:meth:`local_update` over a ``(K, ...)`` client stack.
+
+        The model forward/backward — where virtually all the flops are —
+        runs fused over the stack.  The InfoNCE head stays per-slice: it
+        *compacts* each batch to the rows whose class has a global
+        prototype, and matching that compaction bitwise means running the
+        scalar head on each slice's embeddings (it is O(batch * classes *
+        embed_dim), noise next to one conv layer).  Randomness is consumed
+        in the loop path's order: one permutation per client per epoch.
+        """
+        config = self.local_config
+        stack = len(clients)
+        count = clients[0].num_samples
+        images = np.stack([client.dataset.images for client in clients])
+        labels = np.stack([client.dataset.labels for client in clients])
+        emodel.train()
+        optimizer = config.make_optimizer(emodel)
+        rows = np.arange(stack)[:, None]
+        batch_totals: list[np.ndarray] = []
+        for _ in range(config.local_epochs):
+            orders = np.stack([rng.permutation(count) for rng in rngs])
+            for start in range(0, count, config.batch_size):
+                indices = orders[:, start : start + config.batch_size]
+                batch_labels = labels[rows, indices]
+                emodel.zero_grad()
+                embeddings = emodel.forward_features(images[rows, indices])
+                logits = emodel.forward_logits(embeddings)
+                ce_losses, ce_grad = ensemble_cross_entropy(logits, batch_labels)
+                proto_losses = np.zeros(stack)
+                grad_embedding = np.zeros_like(embeddings)
+                for k in range(stack):
+                    proto_loss, proto_grad = self._prototype_gradient(
+                        embeddings[k], batch_labels[k]
+                    )
+                    proto_losses[k] = proto_loss
+                    grad_embedding[k] = self.proto_weight * proto_grad
+                emodel.backward(grad_logits=ce_grad, grad_embedding=grad_embedding)
+                optimizer.step()
+                batch_totals.append(ce_losses + self.proto_weight * proto_losses)
+
+        # Per-slice prototype extraction, mirroring the loop path's chunked
+        # eval-mode sweep (chunk boundaries line up because every client in
+        # the group holds the same number of samples).
+        emodel.eval()
+        all_embeddings = []
+        for start in range(0, count, 256):
+            all_embeddings.append(
+                emodel.forward_features(images[:, start : start + 256])
+            )
+        embeddings = np.concatenate(all_embeddings, axis=1)
+        payloads = []
+        for k in range(stack):
+            payloads.append(
+                {
+                    "prototypes": {
+                        int(label): embeddings[k][labels[k] == label].mean(axis=0)
+                        for label in np.unique(labels[k])
+                    }
+                }
+            )
+        emodel.train()
+        if batch_totals:
+            mean_losses = np.mean(np.stack(batch_totals, axis=1), axis=1)
+        else:
+            mean_losses = np.zeros(stack)
+        states = ensemble_state_dicts(emodel)
+        return [
+            ClientUpdate.from_client(client, state, float(loss), payload=payload)
+            for client, state, loss, payload in zip(
+                clients, states, mean_losses, payloads
+            )
+        ]
 
     # -- server side ------------------------------------------------------------
 

@@ -40,6 +40,7 @@ from repro.eval import (
     run_split_experiment,
 )
 from repro.fl.codec import codec_specs, make_codec
+from repro.fl.compute import compute_specs
 from repro.fl.executor import EXECUTOR_KINDS
 from repro.fl.faults import make_fault_plan
 from repro.fl.transport import transport_specs
@@ -80,6 +81,7 @@ def _setting_from_args(args: argparse.Namespace) -> ExperimentSetting:
         transport=args.transport,
         faults=args.faults,
         deadline=args.deadline,
+        compute=args.compute,
     )
 
 
@@ -181,6 +183,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="wire transport for broadcast blobs: 'pipe' copies the blob "
         "per worker, 'shm' publishes one shared-memory copy per round; "
         "'auto' (default) prefers shm where the platform supports it",
+    )
+    parser.add_argument(
+        "--compute", choices=("auto",) + compute_specs(), default="auto",
+        help="compute backend for co-resident client groups: 'loop' trains "
+        "clients one at a time, 'ensemble' fuses each group into one "
+        "batched (K, ...) parameter stack, 'strict' forces K=1 stacks "
+        "through the ensemble path; 'auto' (default) picks ensemble when "
+        "the model supports it — results are bitwise identical either way",
     )
     parser.add_argument(
         "--faults", type=_fault_spec, default=None,

@@ -19,11 +19,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import PardonConfig
+from repro.nn.ensemble import (
+    EnsembleEmbeddingL2Loss,
+    EnsembleTripletStyleLoss,
+    ensemble_cross_entropy,
+)
 from repro.nn.losses import CrossEntropyLoss, EmbeddingL2Loss, TripletStyleLoss
 from repro.nn.models import FeatureClassifierModel
+from repro.nn.module import Module
 from repro.nn.optim import SGD
 
-__all__ = ["PardonStepResult", "pardon_batch_step"]
+__all__ = ["PardonStepResult", "pardon_batch_step", "pardon_ensemble_step"]
 
 
 @dataclass(frozen=True)
@@ -112,3 +118,72 @@ def pardon_batch_step(
         triplet=float(triplet_loss),
         regularization=float(reg_loss),
     )
+
+
+def pardon_ensemble_step(
+    emodel: Module,
+    images: np.ndarray,
+    transferred: np.ndarray,
+    labels: np.ndarray,
+    config: PardonConfig,
+    optimizer: SGD,
+) -> np.ndarray:
+    """:func:`pardon_batch_step` over a ``(K, batch, ...)`` client stack.
+
+    One fused optimization step for K clients; returns the per-slice total
+    losses (shape ``(K,)``).  The per-slice computation mirrors the scalar
+    step operand-for-operand — concatenation along the batch axis, the same
+    config branches, the same gradient accumulation order — so slice ``k``
+    is bitwise the result client ``k`` gets from the loop path (see
+    :mod:`repro.nn.ensemble` for why batched kernels preserve that).
+    """
+    if images.shape != transferred.shape:
+        raise ValueError(
+            f"original/transferred shape mismatch: "
+            f"{images.shape} vs {transferred.shape}"
+        )
+    stack, batch = images.shape[:2]
+    if batch == 0:
+        return np.zeros(stack)
+
+    emodel.zero_grad()
+    combined = np.concatenate([images, transferred], axis=1)
+    embeddings = emodel.forward_features(combined)
+    logits = emodel.forward_logits(embeddings)
+    anchors = embeddings[:, :batch]
+    positives = embeddings[:, batch:]
+
+    grad_logits = np.zeros_like(logits)
+    grad_embedding = np.zeros_like(embeddings)
+
+    if config.ce_on_transferred or not config.contrastive:
+        both_labels = np.concatenate([labels, labels], axis=1)
+        ce_losses, ce_grad = ensemble_cross_entropy(logits, both_labels)
+        grad_logits[:] = ce_grad
+    else:
+        ce_losses, ce_grad = ensemble_cross_entropy(logits[:, :batch], labels)
+        grad_logits[:, :batch] = ce_grad
+
+    triplet_losses = np.zeros(stack)
+    if config.contrastive and config.gamma_triplet > 0:
+        triplet = EnsembleTripletStyleLoss(
+            margin=config.margin, hinge=config.triplet_hinge
+        )
+        triplet_losses = triplet.forward(anchors, positives, labels)
+        grad_anchor, grad_positive = triplet.backward()
+        grad_embedding[:, :batch] += config.gamma_triplet * grad_anchor
+        grad_embedding[:, batch:] += config.gamma_triplet * grad_positive
+        triplet_losses = triplet_losses * config.gamma_triplet
+
+    reg_losses = np.zeros(stack)
+    if config.gamma_reg > 0:
+        regularizer = EnsembleEmbeddingL2Loss()
+        reg_losses = regularizer.forward(anchors, positives)
+        reg_anchor, reg_positive = regularizer.backward()
+        grad_embedding[:, :batch] += config.gamma_reg * reg_anchor
+        grad_embedding[:, batch:] += config.gamma_reg * reg_positive
+        reg_losses = reg_losses * config.gamma_reg
+
+    emodel.backward(grad_logits=grad_logits, grad_embedding=grad_embedding)
+    optimizer.step()
+    return ce_losses + triplet_losses + reg_losses

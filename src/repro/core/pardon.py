@@ -21,13 +21,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.config import PardonConfig
-from repro.core.contrastive import pardon_batch_step
+from repro.core.contrastive import pardon_batch_step, pardon_ensemble_step
 from repro.core.interpolation import extract_interpolation_style
 from repro.core.local_style import compute_client_style
 from repro.fl.client import Client
 from repro.fl.executor import ClientUpdate
 from repro.fl.strategy import LocalTrainingConfig, Strategy
+from repro.nn.ensemble import ensemble_state_dicts
 from repro.nn.models import FeatureClassifierModel
+from repro.nn.module import Module
 from repro.style.adain import StyleVector, apply_style_to_images
 from repro.style.encoder import InvertibleEncoder
 from repro.utils.logging import get_logger
@@ -156,3 +158,55 @@ class PardonStrategy(Strategy):
             model.state_dict(),
             float(np.mean(losses)) if losses else 0.0,
         )
+
+    def ensemble_update(
+        self,
+        clients: list[Client],
+        emodel: Module,
+        round_index: int,
+        rngs: list[np.random.Generator],
+    ) -> list[ClientUpdate] | None:
+        """Step 3 over a ``(K, ...)`` client stack (the ``ensemble`` backend).
+
+        Per-client randomness is consumed in the loop path's exact order —
+        the style transfer (or v4 augmentation) first, then one permutation
+        per epoch — so slice ``k`` reproduces :meth:`local_update` for
+        client ``k`` bitwise, including the scratch-cached transfer.
+        """
+        config = self.local_config
+        stack = len(clients)
+        count = clients[0].num_samples
+        images = np.stack([client.dataset.images for client in clients])
+        labels = np.stack([client.dataset.labels for client in clients])
+        transferred = np.stack(
+            [
+                self._transferred_images(client, rng)
+                for client, rng in zip(clients, rngs)
+            ]
+        )
+        emodel.train()
+        optimizer = config.make_optimizer(emodel)
+        rows = np.arange(stack)[:, None]
+        batch_totals: list[np.ndarray] = []
+        for _ in range(config.local_epochs):
+            orders = np.stack([rng.permutation(count) for rng in rngs])
+            for start in range(0, count, config.batch_size):
+                indices = orders[:, start : start + config.batch_size]
+                totals = pardon_ensemble_step(
+                    emodel=emodel,
+                    images=images[rows, indices],
+                    transferred=transferred[rows, indices],
+                    labels=labels[rows, indices],
+                    config=self.config,
+                    optimizer=optimizer,
+                )
+                batch_totals.append(totals)
+        if batch_totals:
+            mean_losses = np.mean(np.stack(batch_totals, axis=1), axis=1)
+        else:
+            mean_losses = np.zeros(stack)
+        states = ensemble_state_dicts(emodel)
+        return [
+            ClientUpdate.from_client(client, state, float(loss))
+            for client, state, loss in zip(clients, states, mean_losses)
+        ]

@@ -51,7 +51,11 @@ class ExperimentSetting:
     the :class:`repro.fl.server.FederatedConfig` of every run built from
     this setting.  ``faults`` (a :mod:`repro.fl.faults` spec string) and
     ``deadline`` (per-round wall-clock budget, seconds) configure the
-    fault-tolerance layer the same way.
+    fault-tolerance layer the same way.  ``compute`` names the compute
+    backend (:mod:`repro.fl.compute`) that trains co-resident client
+    groups; ``"auto"`` resolves to the batched ``ensemble`` backend
+    whenever the model supports it — a pure throughput knob, since
+    per-client numerics are bitwise backend-invariant.
     """
 
     num_clients: int = 20
@@ -68,6 +72,7 @@ class ExperimentSetting:
     transport: str = "auto"
     faults: str | None = None
     deadline: float | None = None
+    compute: str = "auto"
 
     def round_participants(self) -> int:
         """This setting's resolved per-round participant count."""
@@ -92,6 +97,7 @@ class ExperimentSetting:
             transport=self.transport,
             faults=self.faults,
             deadline=self.deadline,
+            compute=self.compute,
         )
 
     def model_factory(self, suite: DomainSuite) -> ModelFactory:
@@ -177,6 +183,7 @@ def run_split_experiment(
             transport=setting.transport,
             faults=setting.faults,
             deadline=setting.deadline,
+            compute=setting.compute,
         ),
         executor=executor,
     )

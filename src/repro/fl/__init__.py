@@ -7,6 +7,15 @@ methods plug in through :class:`repro.fl.Strategy`.
 
 from repro.fl.client import Client, ScratchDelta, ScratchSpace
 from repro.fl.codec import Codec, Payload, codec_specs, make_codec
+from repro.fl.compute import (
+    ComputeBackend,
+    EnsembleBackend,
+    LoopBackend,
+    compute_specs,
+    make_compute,
+    register_compute,
+    resolve_compute,
+)
 from repro.fl.communication import (
     CommunicationModel,
     MeasuredCommunication,
@@ -57,6 +66,13 @@ __all__ = [
     "WireStats",
     "codec_specs",
     "make_codec",
+    "ComputeBackend",
+    "EnsembleBackend",
+    "LoopBackend",
+    "compute_specs",
+    "make_compute",
+    "register_compute",
+    "resolve_compute",
     "method_communication",
     "evaluate_accuracy",
     "evaluate_loss",

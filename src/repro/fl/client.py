@@ -160,6 +160,13 @@ class Client:
     boundary of each method explicit in the strategy code rather than hidden
     in the substrate; its change tracking is what lets the parallel engine
     sync only deltas across the process boundary.
+
+    Co-resident clients (the same engine location in one round) may be
+    handed to a compute backend (:mod:`repro.fl.compute`) as one *group*
+    and trained as a fused parameter stack.  Backends sub-group by
+    ``num_samples`` — stacking requires a shared batch geometry — and a
+    client's scratch is only ever touched by its own slice, so grouping
+    never couples clients' state.
     """
 
     client_id: int

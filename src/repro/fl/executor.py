@@ -33,14 +33,18 @@ methods (§IV-B-3, Fig. 4b): clients keep their data, only deltas travel.
 2. **Broadcast** (once per participating worker per round): the strategy
    blob and the codec-encoded global weights; workers cache the strategy
    decode keyed on the blob bytes.
-3. **Task** (per participant per round): ``(client_id, round_index, seed)``
-   plus a server→worker scratch delta, ``None`` unless server-side code
-   touched the client's scratch between rounds.
-4. **Delta upload** (per participant per round): the
-   :class:`ClientUpdate`, whose ``state`` is codec-encoded and whose
-   ``scratch_delta`` carries only the scratch keys the local update wrote
-   or removed — PARDON's style-transfer cache crosses the wire once, not
-   every round.
+3. **Task** (per co-resident group per round):
+   ``(client_ids, round_index, seeds, scratch_syncs, fault)`` — each
+   scratch sync is ``None`` unless server-side code touched that client's
+   scratch between rounds.  Under the ``loop`` compute backend every task
+   is a singleton group; a batched backend (``ensemble``) packs a home
+   worker's fault-free participants into one task, while faulted clients
+   always ride alone.
+4. **Delta upload** (per group per round): the list of
+   :class:`ClientUpdate` records in group order, each ``state``
+   codec-encoded and each ``scratch_delta`` carrying only the scratch keys
+   the local update wrote or removed — PARDON's style-transfer cache
+   crosses the wire once, not every round.
 
 Weight payloads in both directions additionally pass through a pluggable
 **codec** (:mod:`repro.fl.codec`): ``identity`` ships raw state dicts
@@ -62,6 +66,15 @@ phase, concurrent with other workers' training and the server's dispatch —
 with its wall clock stamped on the first task's
 :attr:`ClientUpdate.decode_seconds` so :class:`repro.fl.timing.PhaseTimer`
 can report the overlap window.
+
+*How the clients that landed in one place actually train* is a pluggable
+**compute backend** (:mod:`repro.fl.compute`), negotiated at pool build
+like the codec and the transport: ``loop`` runs the historical per-client
+loop, ``ensemble`` stacks each co-resident group along a leading axis and
+trains it as fused batched matmuls (:mod:`repro.nn.ensemble`), and
+``auto`` (the default) resolves to ``ensemble`` whenever every module of
+the model converts.  Per-client results are bitwise independent of the
+grouping, so the trace stays engine- and backend-invariant.
 
 Both engines also host the **fault-tolerance layer**
 (:mod:`repro.fl.faults`): a deterministic, seeded fault plan injects
@@ -100,6 +113,7 @@ import numpy as np
 
 from repro.fl.client import Client, ScratchDelta
 from repro.fl.codec import Codec, Payload, make_codec
+from repro.fl.compute import ComputeBackend, make_compute, resolve_compute
 from repro.fl.faults import (
     FaultEvent,
     FaultPlan,
@@ -135,7 +149,21 @@ EXECUTOR_KINDS = ("auto", "serial", "parallel")
 #: dispatch overhead amortizes and the parallel engine wins wall-clock.
 #: Below it (the ROADMAP's "tiny local epochs at bench scale"), serial is
 #: faster because pool spin-up and per-round broadcasts dominate.
-AUTO_CROSSOVER_TASKS = 16
+#:
+#: Re-derived after the serial engine's ``auto`` compute started resolving
+#: to the ensemble backend.  Methodology: the break-even point solves
+#: ``N * t_serial = N * t_serial / W + overhead(N)``, so it scales
+#: linearly with serial per-task throughput while the pool's per-round
+#: overhead (broadcast fan-out, per-task pickling) is backend-independent.
+#: Warm serial rounds on the bench workload (16x16 synthetic-PACS CNN,
+#: batch 32 — ``benchmarks/bench_executor_scaling.py``) measure ensemble
+#: at x1.2 over loop across 16-64 participants (the batched path saves
+#: per-client dispatch, but this regime is BLAS-bound; the x3+ wins of
+#: ``BENCH_compute.json`` live at tiny per-client shards the pool does
+#: not serve anyway).  The old loop-derived crossover of 16 therefore
+#: moves to 16 x 1.2 ~= 20.  Single-core hosts short-circuit to serial
+#: before this constant is consulted.
+AUTO_CROSSOVER_TASKS = 20
 
 
 @dataclass
@@ -255,28 +283,6 @@ class WireStats:
         return self.upload_bytes
 
 
-def _timed_local_update(
-    strategy: "Strategy",
-    client: Client,
-    model: "FeatureClassifierModel",
-    round_index: int,
-    seed: int,
-) -> ClientUpdate:
-    """Run one local update on ``model`` (already holding the broadcast
-    weights) and stamp its wall clock + scratch delta.
-
-    Collecting the delta here — on both engines — is what makes the
-    ``scratch_delta`` contract engine-invariant: it is always a snapshot of
-    the keys this update touched, detached from the live scratch dict.
-    """
-    rng = np.random.default_rng(seed)
-    start = time.perf_counter()
-    update = strategy.local_update(client, model, round_index, rng)
-    update.train_seconds = time.perf_counter() - start
-    update.scratch_delta = client.scratch.collect_delta()
-    return update
-
-
 class Executor:
     """Engine contract: run one round's sampled clients, in sampling order.
 
@@ -303,6 +309,12 @@ class Executor:
     round's casualties.  The fault layer's observable effect (who survives
     each round) must stay engine-invariant: the chaos tests compare
     serial and parallel traces bit-for-bit under one plan.
+
+    ``compute`` selects the compute backend (:mod:`repro.fl.compute`) that
+    trains each co-resident client group — ``"auto"`` (default) resolves
+    against the model at pool build, ``"loop"``/``"ensemble"``/``"strict"``
+    force a backend.  Per-client numerics are bitwise independent of the
+    backend and the grouping, so the choice is pure throughput.
     """
 
     #: The wire transport, for engines that have a wire (the serial engine
@@ -314,8 +326,11 @@ class Executor:
         codec: "str | Codec" = "identity",
         faults: "str | FaultPlan | None" = None,
         deadline: float | None = None,
+        compute: str = "auto",
     ) -> None:
         self.codec = make_codec(codec)
+        #: The configured compute spec; ``auto`` until a model resolves it.
+        self.compute = resolve_compute(compute)
         self.fault_plan = make_fault_plan(faults)
         if deadline is not None and deadline <= 0:
             raise ValueError(f"deadline must be > 0 seconds, got {deadline}")
@@ -324,6 +339,7 @@ class Executor:
         #: injected straggler seconds, rebuilt worker slots).  Always
         #: refreshed by run_round, even for fault-free rounds.
         self.last_fault_report: RoundFaultReport | None = None
+        self._backend: ComputeBackend | None = None
 
     def run_round(
         self,
@@ -335,6 +351,19 @@ class Executor:
         seeds: Sequence[int],
     ) -> list[ClientUpdate]:
         raise NotImplementedError
+
+    def _compute_backend(self, model: "FeatureClassifierModel") -> ComputeBackend:
+        """The round's compute backend, with ``auto`` resolved late against
+        the actual model (mirrors how codec/transport negotiate at build).
+
+        The built backend is kept across rounds so its internal caches (the
+        ensemble backend memoizes stacked module clones per group size)
+        survive the round loop — backends are stateless with respect to
+        results, so reuse can never change a trace."""
+        spec = resolve_compute(self.compute, model)
+        if self._backend is None or self._backend.spec != spec:
+            self._backend = make_compute(spec)
+        return self._backend
 
     def wire_stats(self) -> WireStats:
         """Snapshot of the engine's cumulative wire traffic (zero when the
@@ -402,7 +431,12 @@ class SerialExecutor(Executor):
         # What a worker would train from: identical to global_state for
         # lossless codecs, the dequantized broadcast for lossy ones.
         wire_state = self.codec.roundtrip(global_state)
-        updates = []
+        # Fault triage first, then one backend call over the survivors: the
+        # whole round is a single co-resident group in-process, which the
+        # ensemble backend trains as one (or a few) fused stacks.  Slice
+        # independence keeps each client's numerics identical to the
+        # per-client loop, so this grouping is invisible in the trace.
+        survivors: "list[tuple[Client, int, FaultEvent | None]]" = []
         for client, seed in zip(participants, seeds):
             fault = None
             if actions is not None:
@@ -424,7 +458,6 @@ class SerialExecutor(Executor):
                 ):
                     report.dropped[client.client_id] = "deadline"
                     continue
-            model.load_state_dict(wire_state)
             # Same sync point the parallel engine has before each task: any
             # server-side scratch edits are "shipped" to the training side —
             # a no-op in-process — so the upload delta carries only what the
@@ -432,7 +465,18 @@ class SerialExecutor(Executor):
             client.scratch.collect_delta()
             if fault is not None and fault.kind in ("straggler", "hang"):
                 time.sleep(fault.delay_seconds)
-            update = _timed_local_update(strategy, client, model, round_index, seed)
+            survivors.append((client, seed, fault))
+        backend = self._compute_backend(model)
+        group_updates = backend.run_group(
+            strategy,
+            model,
+            wire_state,
+            [client for client, _, _ in survivors],
+            round_index,
+            [seed for _, seed, _ in survivors],
+        )
+        updates = []
+        for (client, _, fault), update in zip(survivors, group_updates):
             if fault is not None:
                 if fault.kind in ("straggler", "hang"):
                     update.straggler_seconds = fault.delay_seconds
@@ -474,6 +518,7 @@ class _DroppedTask:
 _WORKER_MODEL: "FeatureClassifierModel | None" = None
 _WORKER_CODEC: Codec | None = None
 _WORKER_TRANSPORT: Transport | None = None
+_WORKER_COMPUTE: ComputeBackend | None = None
 _WORKER_STRATEGY_BLOB: bytes | None = None
 _WORKER_STRATEGY: "Strategy | None" = None
 _WORKER_CLIENTS: dict[int, Client] = {}
@@ -493,12 +538,15 @@ _WORKER_BCAST_REF: StateDict | None = None
 _WORKER_UPLOAD_REFS: dict[int, StateDict] = {}
 
 
-def _worker_init(model_blob: bytes, codec_spec: str, transport_spec: str) -> None:
-    global _WORKER_MODEL, _WORKER_CODEC, _WORKER_TRANSPORT
+def _worker_init(
+    model_blob: bytes, codec_spec: str, transport_spec: str, compute_spec: str
+) -> None:
+    global _WORKER_MODEL, _WORKER_CODEC, _WORKER_TRANSPORT, _WORKER_COMPUTE
     global _WORKER_STATE, _WORKER_ROUND, _WORKER_PENDING, _WORKER_BCAST_REF
     _WORKER_MODEL = decode_payload(model_blob)
     _WORKER_CODEC = make_codec(codec_spec)  # the negotiated wire codec
     _WORKER_TRANSPORT = make_transport(transport_spec)  # ...and transport
+    _WORKER_COMPUTE = make_compute(compute_spec)  # ...and compute backend
     _WORKER_CLIENTS.clear()  # fork may inherit a sibling pool's module state
     _WORKER_UPLOAD_REFS.clear()
     _WORKER_STATE = None
@@ -576,9 +624,19 @@ def _ensure_round_state(round_index: int) -> float:
 
 
 def _run_resident_task(
-    task: "tuple[int, int, int, bytes | None, FaultEvent | None]",
+    task: "tuple[tuple[int, ...], int, tuple[int, ...], tuple[bytes | None, ...], FaultEvent | None]",
 ) -> bytes:
-    client_id, round_index, seed, scratch_sync, fault = task
+    """Train one co-resident client group and upload its updates.
+
+    ``task`` carries the group's client ids, their per-client seeds and
+    scratch-sync blobs, and at most one fault event.  Faulted clients
+    always dispatch as singleton groups (the server enforces this), so a
+    fault applies to ``client_ids[0]`` unambiguously; fault-free clients of
+    one home worker may share a group, which the compute backend trains as
+    one fused stack.  The upload is always a *list* of updates, in group
+    order.
+    """
+    client_ids, round_index, seeds, scratch_syncs, fault = task
     if fault is not None and fault.kind == "crash":
         # Simulate a hard worker crash: no cleanup, no exception back up
         # the pipe — the pool just loses this process, exactly like a
@@ -587,11 +645,16 @@ def _run_resident_task(
     if _WORKER_MODEL is None or _WORKER_STRATEGY is None:  # pragma: no cover
         raise RuntimeError("worker received a task before init/broadcast")
     decode_seconds = _ensure_round_state(round_index)
-    client = _WORKER_CLIENTS.get(client_id)
-    if client is None:  # pragma: no cover - protocol violation
-        raise RuntimeError(f"client {client_id} is not resident on this worker")
-    if scratch_sync is not None:
-        client.scratch.apply_delta(decode_payload(scratch_sync))
+    clients: list[Client] = []
+    for client_id, scratch_sync in zip(client_ids, scratch_syncs):
+        client = _WORKER_CLIENTS.get(client_id)
+        if client is None:  # pragma: no cover - protocol violation
+            raise RuntimeError(
+                f"client {client_id} is not resident on this worker"
+            )
+        if scratch_sync is not None:
+            client.scratch.apply_delta(decode_payload(scratch_sync))
+        clients.append(client)
     straggler_seconds = 0.0
     if fault is not None and fault.kind in ("straggler", "hang"):
         # Injected slowness, slept before the update so train_seconds
@@ -600,24 +663,31 @@ def _run_resident_task(
         # eventual result as a zombie.
         time.sleep(fault.delay_seconds)
         straggler_seconds = fault.delay_seconds
-    _WORKER_MODEL.load_state_dict(_WORKER_STATE)
-    update = _timed_local_update(
-        _WORKER_STRATEGY, client, _WORKER_MODEL, round_index, seed
+    updates = _WORKER_COMPUTE.run_group(
+        _WORKER_STRATEGY, _WORKER_MODEL, _WORKER_STATE, clients,
+        round_index, list(seeds),
     )
-    update.decode_seconds = decode_seconds
-    update.straggler_seconds = straggler_seconds
+    # The lazy broadcast decode ran inside this task; stamp it once, on the
+    # group's first update, so PhaseTimer's overlap accounting counts it
+    # exactly once per worker per round.
+    if updates:
+        updates[0].decode_seconds = decode_seconds
+        updates[0].straggler_seconds = straggler_seconds
     if fault is not None and fault.kind == "corrupt":
         # Poison *before* the codec, like a corrupted upload on a real
         # wire; the server's acceptance check catches it after decode.
-        update.state = poison_state(update.state)
-    # Codec-encode the upload; ``update.state`` carries the Payload across
+        updates[0].state = poison_state(updates[0].state)
+    # Codec-encode each upload; ``update.state`` carries the Payload across
     # the wire and the server restores a decoded state before anyone else
     # sees the update.
-    state = update.state
-    update.state = _WORKER_CODEC.encode(state, _WORKER_UPLOAD_REFS.get(client_id))
-    if _WORKER_CODEC.stateful:
-        _WORKER_UPLOAD_REFS[client_id] = state
-    return _WORKER_TRANSPORT.send_upload(encode_payload(update))
+    for update in updates:
+        state = update.state
+        update.state = _WORKER_CODEC.encode(
+            state, _WORKER_UPLOAD_REFS.get(update.client_id)
+        )
+        if _WORKER_CODEC.stateful:
+            _WORKER_UPLOAD_REFS[update.client_id] = state
+    return _WORKER_TRANSPORT.send_upload(encode_payload(updates))
 
 
 def _default_workers() -> int:
@@ -659,6 +729,14 @@ class ParallelExecutor(Executor):
         copy per round, and ``"auto"`` (default) prefers ``shm`` when the
         platform supports it.  Negotiated at pool build like the codec;
         purely mechanical — traces are transport-invariant.
+    compute:
+        The compute backend (:mod:`repro.fl.compute`) each worker trains
+        its co-resident groups with; ``"auto"`` (default) resolves against
+        the model at pool build.  Under a batched backend every home
+        worker's fault-free participants arrive as one group task and
+        train as a fused ``(K, ...)`` stack; per-client numerics are
+        bitwise independent of the grouping, so traces stay
+        backend-invariant.
     faults:
         Deterministic chaos schedule (:class:`repro.fl.faults.FaultPlan`
         or its spec string); injected faults travel inside the task
@@ -714,8 +792,11 @@ class ParallelExecutor(Executor):
         transport: "str | Transport" = "auto",
         faults: "str | FaultPlan | None" = None,
         deadline: float | None = None,
+        compute: str = "auto",
     ) -> None:
-        super().__init__(codec=codec, faults=faults, deadline=deadline)
+        super().__init__(
+            codec=codec, faults=faults, deadline=deadline, compute=compute
+        )
         if num_workers is not None and num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = num_workers or _default_workers()
@@ -733,6 +814,12 @@ class ParallelExecutor(Executor):
         self._pools: list[_ProcessPool] | None = None
         self._pool_architecture: tuple | None = None
         self._pool_initargs: tuple | None = None
+        # The negotiated compute backend (``auto`` resolved against the
+        # model at pool build; its spec ships in the worker initargs so
+        # both endpoints agree before any task is dispatched).  The server
+        # side only consults ``batched`` — to decide whether fault-free
+        # co-resident clients share one group task per home worker.
+        self._pool_compute: ComputeBackend | None = None
         self._mp_context = None
         # (home, future) pairs a round deadline left behind: the slot's
         # FIFO order means they finish before anything later touches
@@ -801,8 +888,10 @@ class ParallelExecutor(Executor):
         if self._pools is None:
             model_blob = encode_payload(model)
             self._mp_context = multiprocessing.get_context(self.start_method)
+            compute_spec = resolve_compute(self.compute, model)
+            self._pool_compute = make_compute(compute_spec)
             self._pool_initargs = (
-                model_blob, self.codec.spec, self.transport.name,
+                model_blob, self.codec.spec, self.transport.name, compute_spec,
             )
             self._pools = [
                 self._new_slot_pool() for _ in range(self.num_workers)
@@ -1016,27 +1105,60 @@ class ParallelExecutor(Executor):
             # server-side code touched the client's scratch since the last
             # sync.  A fault-plan event for this (client, round) rides in
             # the task tuple, so workers need no plan state of their own.
-            pending: "list[list]" = []
-            for client, seed in dispatch_pairs:
+            #
+            # Under a batched compute backend, a home worker's fault-free
+            # participants share ONE group task (trained as a fused stack);
+            # faulted clients always dispatch as singleton groups so the
+            # per-task fault protocol stays unambiguous.  Per-client
+            # numerics are bitwise independent of this grouping, so the
+            # trace cannot tell the difference.
+            batched = self._pool_compute is not None and self._pool_compute.batched
+            descriptors: "list[list]" = []  # [positions, clients, seeds, blobs, fault]
+            group_at: dict[int, int] = {}  # home -> descriptor index
+            for position, (client, seed) in enumerate(dispatch_pairs):
                 server_delta = client.scratch.collect_delta()
                 sync_blob = encode_payload(server_delta) if server_delta else None
                 fault = injected.get(client.client_id)
-                task = (client.client_id, round_index, seed, sync_blob, fault)
-                # Count the fixed fields exactly but never re-pickle the
-                # sync blob (it can be dataset-scale); its pickle framing
-                # is noise.
+                # Count each client's fixed task fields exactly; the sync
+                # blob is never re-pickled (it can be dataset-scale) and
+                # the group tuple's framing is charged to noise like the
+                # blob framing — so the accounting stays invariant to the
+                # backend's grouping and the worker count.
                 self.wire.task_bytes += len(
                     pickle.dumps(
                         (client.client_id, round_index, seed, None, fault),
                         protocol=pickle.HIGHEST_PROTOCOL,
                     )
                 ) + (len(sync_blob) if sync_blob is not None else 0)
+                home = self._home(client.client_id)
+                if batched and fault is None and home in group_at:
+                    descriptor = descriptors[group_at[home]]
+                    descriptor[0].append(position)
+                    descriptor[1].append(client)
+                    descriptor[2].append(seed)
+                    descriptor[3].append(sync_blob)
+                    continue
+                if batched and fault is None:
+                    group_at[home] = len(descriptors)
+                descriptors.append(
+                    [[position], [client], [seed], [sync_blob], fault]
+                )
+            pending: "list[list]" = []
+            for positions, clients, group_seeds, sync_blobs, fault in descriptors:
+                task = (
+                    tuple(client.client_id for client in clients),
+                    round_index,
+                    tuple(group_seeds),
+                    tuple(sync_blobs),
+                    fault,
+                )
                 pending.append(
                     [
-                        client,
-                        seed,
+                        clients,
+                        group_seeds,
+                        positions,
                         self._submit_task(
-                            pools, self._home(client.client_id), task
+                            pools, self._home(clients[0].client_id), task
                         ),
                     ]
                 )
@@ -1123,20 +1245,25 @@ class ParallelExecutor(Executor):
         """Drain the round's upload futures into ``updates`` in sampling
         order, decoding states and syncing scratch along the way.
 
-        ``pending`` rows are ``[client, seed, future_or_sentinel]`` and may
-        be rewritten mid-collection: a crashed slot replaces its lost
-        rows with re-submissions (or :class:`_DroppedTask` sentinels), and
-        a row whose future misses the deadline is dropped in place — so
-        survivors always land in ``updates`` in sampling order, which
-        keeps the aggregation's floating-point reduction order (and hence
-        the whole trace) engine-invariant.
+        ``pending`` rows are ``[clients, seeds, positions, future]`` — one
+        co-resident group per row, with ``positions`` the clients' indices
+        in the round's dispatch order — and may be rewritten
+        mid-collection: a crashed slot replaces its lost rows with
+        re-submissions (or :class:`_DroppedTask` sentinels), and a row
+        whose future misses the deadline is dropped in place.  Survivors
+        are keyed by dispatch position and appended to ``updates`` sorted,
+        so they always land in sampling order, which keeps the
+        aggregation's floating-point reduction order (and hence the whole
+        trace) engine- and grouping-invariant.
         """
         suspects: set[int] = set()
+        results: dict[int, ClientUpdate] = {}
         index = 0
         while index < len(pending):
-            client, seed, future = pending[index]
+            clients, _, positions, future = pending[index]
             if isinstance(future, _DroppedTask):
-                report.dropped[client.client_id] = future.reason
+                for client in clients:
+                    report.dropped[client.client_id] = future.reason
                 index += 1
                 continue
             try:
@@ -1147,60 +1274,66 @@ class ParallelExecutor(Executor):
                 )
                 wire = future.result(timeout=timeout)
             except _FuturesTimeout:
-                # Round deadline: close without this client.  The task is
-                # absorbed — the slot's FIFO order lets it finish harmlessly
-                # and the result is drained as a zombie next round — and the
-                # client re-registers before its next participation, because
-                # the worker-side copy diverges the moment the absorbed
-                # update completes.
-                report.dropped[client.client_id] = "deadline"
+                # Round deadline: close without this row's clients.  The
+                # task is absorbed — the slot's FIFO order lets it finish
+                # harmlessly and the result is drained as a zombie next
+                # round — and the clients re-register before their next
+                # participation, because the worker-side copies diverge the
+                # moment the absorbed update completes.
+                for client in clients:
+                    report.dropped[client.client_id] = "deadline"
+                    self._resident.pop(client.client_id, None)
                 self._zombie_futures.append(
-                    (self._home(client.client_id), future)
+                    (self._home(clients[0].client_id), future)
                 )
-                self._resident.pop(client.client_id, None)
                 index += 1
                 continue
             except _BrokenPool:
                 self._recover_broken_slot(
-                    pools, self._home(client.client_id), pending, index,
+                    pools, self._home(clients[0].client_id), pending, index,
                     round_index, strategy_blob, global_state, injected,
                     suspects, report,
                 )
                 continue  # re-examine this row: re-submitted or sentinel
             blob = self.transport.recv_upload(wire)
             self.wire.upload_bytes += len(blob)
-            update: ClientUpdate = decode_payload(blob)
-            # Restore the codec-encoded state before anything downstream
-            # (aggregation, benches) touches the update.
-            decoded = self.codec.decode(
-                update.state, self._upload_refs.get(update.client_id)
-            )
-            update.state = decoded
-            if self.codec.stateful:
-                self._upload_refs[update.client_id] = decoded
-            # The out-of-band decode hands back read-only views into the
-            # upload blob.  That is fine for ``state`` (dropped after
-            # aggregation), but scratch outlives the round: materialize the
-            # delta so server-side scratch holds owned, writable values
-            # instead of pinning every client's blob for the session.
-            if update.scratch_delta:
-                update.scratch_delta = pickle.loads(
-                    pickle.dumps(update.scratch_delta, pickle.HIGHEST_PROTOCOL)
+            row_updates: list[ClientUpdate] = decode_payload(blob)
+            for client, position, update in zip(clients, positions, row_updates):
+                # Restore the codec-encoded state before anything
+                # downstream (aggregation, benches) touches the update.
+                decoded = self.codec.decode(
+                    update.state, self._upload_refs.get(update.client_id)
                 )
-            # Sync the server-side copy; applying (rather than recording)
-            # keeps its dirty set empty, so nothing bounces back next round.
-            client.scratch.apply_delta(update.scratch_delta)
-            if self.fault_plan is not None and state_is_corrupt(update.state):
-                # Acceptance check on every decoded upload: distrust the
-                # weights, keep the scratch (applied above — the serial
-                # engine's in-process run mutates it the same way), and
-                # leave both reference chains advanced so the next delta
-                # still decodes bit-exactly.
-                report.dropped[client.client_id] = "corrupt"
-                index += 1
-                continue
-            updates.append(update)
+                update.state = decoded
+                if self.codec.stateful:
+                    self._upload_refs[update.client_id] = decoded
+                # The out-of-band decode hands back read-only views into
+                # the upload blob.  That is fine for ``state`` (dropped
+                # after aggregation), but scratch outlives the round:
+                # materialize the delta so server-side scratch holds owned,
+                # writable values instead of pinning every client's blob
+                # for the session.
+                if update.scratch_delta:
+                    update.scratch_delta = pickle.loads(
+                        pickle.dumps(
+                            update.scratch_delta, pickle.HIGHEST_PROTOCOL
+                        )
+                    )
+                # Sync the server-side copy; applying (rather than
+                # recording) keeps its dirty set empty, so nothing bounces
+                # back next round.
+                client.scratch.apply_delta(update.scratch_delta)
+                if self.fault_plan is not None and state_is_corrupt(update.state):
+                    # Acceptance check on every decoded upload: distrust
+                    # the weights, keep the scratch (applied above — the
+                    # serial engine's in-process run mutates it the same
+                    # way), and leave both reference chains advanced so the
+                    # next delta still decodes bit-exactly.
+                    report.dropped[client.client_id] = "corrupt"
+                    continue
+                results[position] = update
             index += 1
+        updates.extend(update for _, update in sorted(results.items()))
 
     def _recover_broken_slot(
         self,
@@ -1218,13 +1351,16 @@ class ParallelExecutor(Executor):
         """A slot's process died mid-round: rebuild it in place and re-run
         what the crash took with it.
 
-        The plan's crash victim (and any client whose task has killed a
+        The plan's crash victim (and any group whose task has killed a
         worker twice — a deterministic poison pill would loop forever) is
-        dropped; every other lost task re-registers its client from the
-        server-side copy and re-runs with its original seed, so the
-        surviving set — and the trace — matches the serial engine.  The
-        fresh worker holds no codec reference state, so the re-broadcast
-        is a full frame.
+        dropped; every other lost task re-registers its clients from the
+        server-side copies and re-runs with its original seeds, so the
+        surviving set — and the trace — matches the serial engine.
+        (Plan-designated crash victims always dispatch as singleton
+        groups, so a multi-client group can only be dropped by the
+        twice-killed rule — an infrastructure failure, not plan chaos.)
+        The fresh worker holds no codec reference state, so the
+        re-broadcast is a full frame.
         """
         pool = self._replace_slot(pools, home, report)
         rerun: "list[list]" = []
@@ -1232,42 +1368,59 @@ class ParallelExecutor(Executor):
         # the task that was executing when the process died — only it can
         # be the killer; rows queued behind it never got to run.
         for row in pending[index:]:
-            client, _, future = row
+            clients, _, _, future = row
             if isinstance(future, _DroppedTask):
                 continue
-            if self._home(client.client_id) != home:
+            if self._home(clients[0].client_id) != home:
                 continue
             if future.done() and future.exception() is None:
                 continue  # its result outran the crash; keep it
-            event = injected.get(client.client_id)
+            event = (
+                injected.get(clients[0].client_id) if len(clients) == 1 else None
+            )
             if event is not None and event.kind == "crash":
-                row[2] = _DroppedTask("crash")  # the plan's victim
-            elif head and client.client_id in suspects:
+                row[3] = _DroppedTask("crash")  # the plan's victim
+            elif head and all(
+                client.client_id in suspects for client in clients
+            ):
                 # Executing for the second time when its worker died: a
                 # deterministic poison pill, re-running it would rebuild
                 # the slot forever.
-                row[2] = _DroppedTask("crash")
+                row[3] = _DroppedTask("crash")
             else:
                 if head:
-                    suspects.add(client.client_id)
+                    suspects.update(client.client_id for client in clients)
                 rerun.append(row)
             head = False
         if not rerun:
             return
         self._register_clients(
-            pool, home, [row[0] for row in rerun]
+            pool, home, [client for row in rerun for client in row[0]]
         ).result()
         self._broadcast_slot(pool, home, strategy_blob, global_state, round_index)
         for row in rerun:
-            client, seed, _ = row
-            fault = injected.get(client.client_id)
-            # Registration just re-shipped the full scratch, so the task
-            # needs no sync blob.
-            task = (client.client_id, round_index, seed, None, fault)
-            self.wire.task_bytes += len(
-                pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+            clients, group_seeds, _, _ = row
+            fault = (
+                injected.get(clients[0].client_id) if len(clients) == 1 else None
             )
-            row[2] = self._submit_task(pools, home, task)
+            # Registration just re-shipped the full scratch, so the task
+            # needs no sync blobs.  Accounting is per client, grouping-
+            # invariant, as in the dispatch loop.
+            task = (
+                tuple(client.client_id for client in clients),
+                round_index,
+                tuple(group_seeds),
+                (None,) * len(clients),
+                fault,
+            )
+            for client, seed in zip(clients, group_seeds):
+                self.wire.task_bytes += len(
+                    pickle.dumps(
+                        (client.client_id, round_index, seed, None, fault),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                )
+            row[3] = self._submit_task(pools, home, task)
 
     def _broadcast_slot(
         self,
@@ -1327,6 +1480,7 @@ class ParallelExecutor(Executor):
                 pool.shutdown(wait=True)
             self._pools = None
             self._pool_architecture = None
+            self._pool_compute = None  # re-negotiated at the next build
         self.transport.close()
         self._resident.clear()
         self._zombie_futures.clear()  # joined (or killed) above
@@ -1373,10 +1527,11 @@ def make_executor(
     transport: "str | Transport" = "auto",
     faults: "str | FaultPlan | None" = None,
     deadline: float | None = None,
+    compute: str = "auto",
 ) -> Executor:
     """Build an engine from the CLI/bench knobs (``--executor`` /
     ``--workers`` / ``--codec`` / ``--transport`` / ``--faults`` /
-    ``--deadline``).
+    ``--deadline`` / ``--compute``).
 
     ``kind="auto"`` picks the engine via :func:`resolve_executor` from the
     optional ``participants``/``local_epochs`` hints; an explicit
@@ -1405,11 +1560,13 @@ def make_executor(
                 "workers only applies to the parallel executor; "
                 "pass kind='parallel' or drop the workers count"
             )
-        return SerialExecutor(codec=codec, faults=faults, deadline=deadline)
+        return SerialExecutor(
+            codec=codec, faults=faults, deadline=deadline, compute=compute
+        )
     if kind == "parallel":
         return ParallelExecutor(
             num_workers=workers, codec=codec, transport=transport,
-            faults=faults, deadline=deadline,
+            faults=faults, deadline=deadline, compute=compute,
         )
     raise ValueError(
         f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}"

@@ -22,6 +22,7 @@ from repro.data.synthetic import LabeledDataset
 from repro.fl.evaluation import evaluate_accuracy
 from repro.fl.client import Client
 from repro.fl.codec import make_codec
+from repro.fl.compute import resolve_compute
 from repro.fl.executor import Executor, SerialExecutor
 from repro.fl.faults import make_fault_plan
 from repro.fl.history import RoundRecord, RunHistory
@@ -67,6 +68,14 @@ class FederatedConfig:
     round* and therefore belong to the experiment definition, so — like
     the codec — a caller-supplied engine must agree with them (checked at
     server construction).
+
+    ``compute`` names the compute backend (:mod:`repro.fl.compute`) that
+    trains each co-resident client group: ``"auto"`` (default) resolves to
+    the batched ``ensemble`` backend when the model supports it, and
+    ``"loop"``/``"ensemble"``/``"strict"`` force one.  Per-client numerics
+    are bitwise backend-invariant, so this is a throughput knob — but a
+    pinned spec on the config must match a caller-supplied engine, like
+    the codec, so experiment records say what actually ran.
     """
 
     num_rounds: int = 10
@@ -77,6 +86,7 @@ class FederatedConfig:
     transport: str = "auto"
     faults: str | None = None
     deadline: float | None = None
+    compute: str = "auto"
 
     def __post_init__(self) -> None:
         if self.num_rounds < 1:
@@ -95,8 +105,10 @@ class FederatedConfig:
         make_codec(self.codec)
         # ...and the transport spec ("auto" resolves per platform)...
         resolve_transport(self.transport)
-        # ...and the fault-plan spec.
+        # ...and the fault-plan spec...
         make_fault_plan(self.faults)
+        # ...and the compute-backend spec ("auto" resolves per model).
+        resolve_compute(self.compute)
 
 
 @dataclass
@@ -157,7 +169,8 @@ class FederatedServer:
         self.config = config
         self._owns_executor = executor is None
         self.executor = executor or SerialExecutor(
-            codec=config.codec, faults=config.faults, deadline=config.deadline
+            codec=config.codec, faults=config.faults,
+            deadline=config.deadline, compute=config.compute,
         )
         if self.executor.codec.spec != make_codec(config.codec).spec:
             raise ValueError(
@@ -186,6 +199,17 @@ class FederatedServer:
                 f"the config asks for {config.deadline!r}; build the engine "
                 f"with the config's deadline (make_executor(..., "
                 f"deadline=...))"
+            )
+        # A pinned compute spec is part of the experiment record: the
+        # result is bitwise the same either way, but "what ran" must not
+        # silently diverge from what the config claims.  ``auto`` on the
+        # config accepts any engine — resolution happens at pool build.
+        if config.compute != "auto" and self.executor.compute != config.compute:
+            raise ValueError(
+                f"executor carries compute backend {self.executor.compute!r} "
+                f"but the config asks for {config.compute!r}; build the "
+                f"engine with the config's backend (make_executor(..., "
+                f"compute=...))"
             )
         self.sampler = UniformClientSampler(config.clients_per_round)
         self._seed_tree = SeedTree(config.seed).child("server", strategy.name)

@@ -45,7 +45,9 @@ from repro.data.synthetic import LabeledDataset
 from repro.fl.client import Client
 from repro.fl.executor import ClientUpdate
 from repro.nn import SGD, CrossEntropyLoss
+from repro.nn.ensemble import ensemble_cross_entropy, ensemble_state_dicts
 from repro.nn.models import FeatureClassifierModel
+from repro.nn.module import Module
 from repro.nn.serialize import StateDict, average_states
 
 __all__ = ["LocalTrainingConfig", "Strategy", "run_ce_epochs"]
@@ -151,6 +153,77 @@ class Strategy:
         """
         loss = run_ce_epochs(model, client.dataset, self.local_config, rng)
         return ClientUpdate.from_client(client, model.state_dict(), loss)
+
+    def supports_ensemble(self) -> bool:
+        """Whether the ``ensemble`` compute backend may batch this strategy.
+
+        True when the subclass provides its own :meth:`ensemble_update`,
+        or when it kept the base :meth:`local_update` (so the base
+        vectorized CE loop below is its exact batched counterpart).  A
+        subclass that overrides ``local_update`` without a matching
+        ``ensemble_update`` silently runs on the loop backend — correct,
+        just not fused.
+        """
+        if type(self).ensemble_update is not Strategy.ensemble_update:
+            return True
+        return type(self).local_update is Strategy.local_update
+
+    def ensemble_update(
+        self,
+        clients: list[Client],
+        emodel: Module,
+        round_index: int,
+        rngs: list[np.random.Generator],
+    ) -> list[ClientUpdate] | None:
+        """Train K same-sized clients as one ``(K, ...)`` parameter stack.
+
+        ``emodel`` is the ensemble clone of the architecture
+        (:func:`repro.nn.ensemble.ensemble_of`) with the broadcast weights
+        already loaded into every slice; ``clients`` all hold datasets of
+        equal length and ``rngs`` are the same per-client generators
+        :meth:`local_update` would receive.  Implementations must draw
+        from each ``rngs[k]`` in exactly the order the loop path does, so
+        slice ``k`` reproduces client ``k``'s loop result bitwise.
+
+        Returns the per-client updates in group order, or ``None`` to
+        decline the group (the backend reruns it through the loop path).
+
+        The base implementation is :func:`run_ce_epochs` vectorized: per
+        batch, one batched forward, one ensemble cross-entropy, one batched
+        backward, and one fused SGD step over the whole stack.
+        """
+        config = self.local_config
+        stack = len(clients)
+        count = clients[0].num_samples
+        emodel.train()
+        optimizer = config.make_optimizer(emodel)
+        images = np.stack([client.dataset.images for client in clients])
+        labels = np.stack([client.dataset.labels for client in clients])
+        rows = np.arange(stack)[:, None]
+        batch_losses: list[np.ndarray] = []
+        for _ in range(config.local_epochs):
+            # One permutation per client, drawn in client order — the same
+            # draw Batcher.epoch makes on the loop path.
+            orders = np.stack([rng.permutation(count) for rng in rngs])
+            for start in range(0, count, config.batch_size):
+                indices = orders[:, start : start + config.batch_size]
+                emodel.zero_grad()
+                logits = emodel.forward(images[rows, indices])
+                losses, grad_logits = ensemble_cross_entropy(
+                    logits, labels[rows, indices]
+                )
+                emodel.backward(grad_logits=grad_logits)
+                optimizer.step()
+                batch_losses.append(losses)
+        if batch_losses:
+            mean_losses = np.mean(np.stack(batch_losses, axis=1), axis=1)
+        else:
+            mean_losses = np.zeros(stack)
+        states = ensemble_state_dicts(emodel)
+        return [
+            ClientUpdate.from_client(client, state, float(loss))
+            for client, state, loss in zip(clients, states, mean_losses)
+        ]
 
     def aggregate(
         self,

@@ -47,6 +47,14 @@ from repro.nn.checkpoint import (
     save_model,
     save_state,
 )
+from repro.nn.ensemble import (
+    ensemble_of,
+    ensemble_state_dicts,
+    ensemble_supports,
+    load_state_broadcast,
+    load_state_stack,
+    register_ensemble_converter,
+)
 from repro.nn import functional, init
 
 __all__ = [
@@ -89,6 +97,12 @@ __all__ = [
     "flatten_state",
     "unflatten_state",
     "state_allclose",
+    "ensemble_of",
+    "ensemble_state_dicts",
+    "ensemble_supports",
+    "load_state_broadcast",
+    "load_state_stack",
+    "register_ensemble_converter",
     "functional",
     "init",
 ]

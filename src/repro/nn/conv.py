@@ -25,6 +25,28 @@ def _out_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return out
 
 
+# Reusable zero-padded staging buffers, keyed by (shape, dtype).  A training
+# step calls im2col once per conv layer per batch with identical shapes, so
+# reusing the allocation avoids a fresh np.pad (allocate + border fill) every
+# call.  Only the interior is overwritten; the border is zeroed once at
+# allocation and never touched again, which is exactly the constant padding
+# np.pad produced.  The cap bounds memory when many distinct shapes cycle
+# through (e.g. several model architectures in one process).
+_PAD_SCRATCH: dict[tuple, np.ndarray] = {}
+_PAD_SCRATCH_MAX_ENTRIES = 8
+
+
+def _padded_scratch(shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+    key = (shape, np.dtype(dtype).str)
+    buffer = _PAD_SCRATCH.get(key)
+    if buffer is None:
+        if len(_PAD_SCRATCH) >= _PAD_SCRATCH_MAX_ENTRIES:
+            _PAD_SCRATCH.clear()
+        buffer = np.zeros(shape, dtype=dtype)
+        _PAD_SCRATCH[key] = buffer
+    return buffer
+
+
 def im2col(
     x: np.ndarray, kernel: int, stride: int, padding: int
 ) -> tuple[np.ndarray, tuple[int, int]]:
@@ -37,11 +59,11 @@ def im2col(
     out_h = _out_size(height, kernel, stride, padding)
     out_w = _out_size(width, kernel, stride, padding)
     if padding:
-        x = np.pad(
-            x,
-            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
-            mode="constant",
+        padded = _padded_scratch(
+            (batch, channels, height + 2 * padding, width + 2 * padding), x.dtype
         )
+        padded[:, :, padding : padding + height, padding : padding + width] = x
+        x = padded
     # Strided view: (batch, channels, out_h, out_w, kernel, kernel)
     strides = (
         x.strides[0],
@@ -56,7 +78,15 @@ def im2col(
     cols = patches.transpose(0, 2, 3, 1, 4, 5).reshape(
         batch * out_h * out_w, channels * kernel * kernel
     )
-    return np.ascontiguousarray(cols), (out_h, out_w)
+    if not cols.flags["C_CONTIGUOUS"]:
+        # reshape returned a non-contiguous view (rare layouts, e.g. 1x1
+        # kernels); downstream matmuls want contiguous rows, so copy here.
+        cols = np.ascontiguousarray(cols)
+    elif padding and np.shares_memory(cols, x):
+        # reshape returned a view into the reusable scratch buffer; callers
+        # cache cols across forward/backward, so detach it.
+        cols = cols.copy()
+    return cols, (out_h, out_w)
 
 
 def col2im(
