@@ -51,6 +51,14 @@ Shape to check: per-round wall clock crosses over around K=4 and reaches
 speedup is pure dispatch fusion, not a numerics change.  The sweep is
 also written as ``BENCH_compute.json`` for machine consumers.
 
+The seventh table measures the robust-aggregation layer
+(``repro.fl.aggregate``): final accuracy per rule (mean, median,
+trimmed-mean, krum), fault-free vs. under 20% Byzantine clients sending
+100x-scaled updates, plus the rejected-upload count and the per-round
+aggregation cost.  Shape to check: the mean collapses under attack while
+the robust rules hold near their own clean accuracy at millisecond
+aggregation cost.  The sweep is also written as ``BENCH_robust.json``.
+
 Run directly for the full table, or with ``--smoke`` for the CI-scale
 variant (fast data scale, workers {1, 2}); either way, legs whose wire
 transport is unavailable on the host (shm on shm-less runners) are
@@ -59,9 +67,11 @@ runs the scaling table under that wire codec — the CI codec matrix uses
 it to check serial/parallel trace identity per codec — ``--transport
 SPEC`` runs it under that wire transport (the CI shm leg), ``--compute
 SPEC`` runs it under that compute backend (the CI compute legs pin
-loop-vs-ensemble trace identity), and ``--faults SPEC`` (with an optional
+loop-vs-ensemble trace identity), ``--faults SPEC`` (with an optional
 ``--deadline``) runs it under that fault plan — the CI chaos legs use it
-to check that a faulty trace stays engine-invariant end to end.
+to check that a faulty trace stays engine-invariant end to end — and
+``--aggregator SPEC`` runs it under that aggregation rule (the CI
+byzantine legs pair it with a Byzantine fault plan).
 """
 
 from __future__ import annotations
@@ -97,6 +107,9 @@ WORKER_GRID = [1, 2, 4]
 CODEC_GRID = ["identity", "delta", "fp16", "qint8", "qint8+deflate"]
 #: The fault-table plan: a quarter of the (client, round) cells are slow.
 STRAGGLER_PLAN = "straggler=0.25:0.05,seed=3"
+#: The robust-table attack: a fifth of the cells upload a 100x-scaled
+#: update — the Byzantine mode that visibly drags a weighted mean.
+BYZANTINE_PLAN = "byzantine=0.2:scale,seed=7"
 
 
 def _make_clients(suite):
@@ -109,6 +122,7 @@ def _make_clients(suite):
 def _run_with_workers(
     suite, rounds: int, workers: int, strategy=None, codec="identity",
     transport="auto", faults=None, deadline=None, compute="auto",
+    aggregator="mean",
 ):
     clients = _make_clients(suite)
     model = build_cnn_model(
@@ -131,7 +145,7 @@ def _run_with_workers(
         config=FederatedConfig(
             num_rounds=rounds, clients_per_round=CLIENTS_PER_ROUND, seed=0,
             codec=codec, transport=transport, faults=faults, deadline=deadline,
-            compute=compute,
+            compute=compute, aggregator=aggregator,
         ),
         executor=executor,
     )
@@ -157,7 +171,7 @@ def _trace_of(result):
 
 def _run(
     suite, worker_grid, codec="identity", transport="auto", faults=None,
-    deadline=None, compute="auto",
+    deadline=None, compute="auto", aggregator="mean",
 ) -> str:
     rounds = bench_rounds(4)
     rows = []
@@ -166,6 +180,7 @@ def _run(
         result, _, _ = _run_with_workers(
             suite, rounds, workers, codec=codec, transport=transport,
             faults=faults, deadline=deadline, compute=compute,
+            aggregator=aggregator,
         )
         timing = result.timing
         trace = _trace_of(result)
@@ -198,6 +213,7 @@ def _run(
             f"{CLIENTS_PER_ROUND}/{NUM_CLIENTS} clients per round, "
             f"codec={codec}, transport={transport}, compute={compute}"
             + (f", faults={faults}" if faults else "")
+            + (f", aggregator={aggregator}" if aggregator != "mean" else "")
         ),
     )
 
@@ -637,17 +653,90 @@ def _run_compute(worker_grid) -> str:
     )
 
 
+def _run_robust(suite) -> str:
+    """Accuracy and aggregation cost per robust rule, clean vs. attacked.
+
+    Each rule runs the same serial FedAvg session twice: fault-free, and
+    with 20% of the (client, round) cells Byzantine (the ``scale`` mode —
+    the update blown up 100x, the attack that actually moves a mean).
+    Shape to check: the mean collapses under attack while the robust rules
+    hold near their own clean accuracy, at an aggregation cost that stays
+    in the milliseconds.  The "rejected" column counts uploads the rule
+    excluded outright (krum's non-selected peers) — the mean and median
+    reject nobody; they differ in how much a bad upload *weighs*.  The
+    sweep is also written as ``BENCH_robust.json`` for machine consumers.
+    """
+    rounds = max(3, bench_rounds(4))
+    rules = ["mean", "median", "trimmed_mean(1)", "krum"]
+    rows = []
+    payload = {
+        "rounds": rounds,
+        "attack": BYZANTINE_PLAN,
+        "unit": "test_accuracy",
+        "sweep": [],
+    }
+    for rule in rules:
+        cells = {}
+        for faults in (None, BYZANTINE_PLAN):
+            result, _, _ = _run_with_workers(
+                suite, rounds, 1, faults=faults, aggregator=rule,
+            )
+            cells["attacked" if faults else "clean"] = result
+        clean = cells["clean"].final_accuracy["test"]
+        attacked = cells["attacked"].final_accuracy["test"]
+        timing = cells["attacked"].timing
+        rows.append(
+            [
+                rule,
+                f"{clean:.3f}",
+                f"{attacked:.3f}",
+                f"{attacked - clean:+.3f}",
+                f"{timing.rejected_uploads}",
+                f"{1e3 * timing.aggregation_seconds_mean:.2f}",
+            ]
+        )
+        payload["sweep"].append(
+            {
+                "rule": rule,
+                "clean_accuracy": round(clean, 4),
+                "attacked_accuracy": round(attacked, 4),
+                "rejected_uploads": timing.rejected_uploads,
+                "aggregation_ms_per_round": round(
+                    1e3 * timing.aggregation_seconds_mean, 3
+                ),
+            }
+        )
+    emit_json("robust", payload)
+    return format_table(
+        [
+            "Aggregator",
+            "clean acc",
+            "attacked acc",
+            "delta",
+            "rejected",
+            "aggregation (ms/round)",
+        ],
+        rows,
+        title=(
+            f"Robust aggregation — final accuracy under Byzantine clients "
+            f"({rounds} rounds, {CLIENTS_PER_ROUND}/{NUM_CLIENTS} clients, "
+            f"attack '{BYZANTINE_PLAN}')"
+        ),
+    )
+
+
 def _tables(suite, worker_grid, codec="identity", transport="auto",
-            faults=None, deadline=None, compute="auto",
+            faults=None, deadline=None, compute="auto", aggregator="mean",
             extra_tables=True) -> str:
     """``extra_tables=False`` keeps non-default CI matrix legs to the
-    scaling table alone — the wire, codec, transport, and fault sweeps
-    are independent of the matrix axis and would only duplicate the
-    default leg's output."""
+    scaling table alone — the wire, codec, transport, fault, and robust
+    sweeps are independent of the matrix axis and would only duplicate
+    the default leg's output."""
     parts = [
         _run(
             suite, worker_grid, codec=codec, transport=transport,
             faults=faults, deadline=deadline, compute=compute,
+            aggregator=aggregator,
         )
     ]
     if extra_tables:
@@ -656,6 +745,7 @@ def _tables(suite, worker_grid, codec="identity", transport="auto",
         parts.append(_run_transports(suite, worker_grid))
         parts.append(_run_faults_table(suite, worker_grid))
         parts.append(_run_compute(worker_grid))
+        parts.append(_run_robust(suite))
     return "\n\n".join(parts)
 
 
@@ -692,6 +782,11 @@ if __name__ == "__main__":
         "it to check that a faulty trace stays engine-invariant)",
     )
     parser.add_argument(
+        "--aggregator", default="mean",
+        help="aggregation rule for the scaling table (the CI byzantine "
+        "legs run the robust rules under an attack plan)",
+    )
+    parser.add_argument(
         "--deadline", type=float, default=None,
         help="per-round wall-clock budget in seconds for the scaling table",
     )
@@ -717,19 +812,23 @@ if __name__ == "__main__":
         name += f"_{args.compute}"
     if args.faults is not None:
         name += "_faults"
+    if args.aggregator != "mean":
+        name += f"_{args.aggregator.replace('(', '_').replace(')', '').replace('+', '_').replace(', ', '_')}"
     emit(
         name,
         _tables(
             suite, grid, codec=args.codec, transport=args.transport,
             faults=args.faults, deadline=args.deadline, compute=args.compute,
+            aggregator=args.aggregator,
             # The sweep tables are leg-independent (the transport sweep runs
             # both transports itself, the compute sweep both backends, the
-            # fault sweep both fault settings); run them on the local
-            # default (auto) and on exactly one CI matrix leg (identity +
-            # pipe + auto, no chaos).
+            # fault sweep both fault settings, the robust sweep all rules);
+            # run them on the local default (auto) and on exactly one CI
+            # matrix leg (identity + pipe + auto, no chaos).
             extra_tables=args.codec == "identity"
             and args.transport in ("auto", "pipe")
             and args.compute == "auto"
-            and args.faults is None,
+            and args.faults is None
+            and args.aggregator == "mean",
         ),
     )

@@ -246,17 +246,29 @@ class FPLStrategy(Strategy):
             for label, prototype in update.payload.get("prototypes", {}).items():
                 round_prototypes.setdefault(int(label), []).append(prototype)
         for label, prototypes in round_prototypes.items():
-            matrix = np.stack(prototypes)
-            if matrix.shape[0] >= 3:
-                labels = finch(matrix, metric="cosine").last
-                cluster_means = np.stack(
-                    [
-                        matrix[labels == cluster].mean(axis=0)
-                        for cluster in range(int(labels.max()) + 1)
-                    ]
-                )
-                fused = cluster_means.mean(axis=0)
-            else:
-                fused = matrix.mean(axis=0)
-            self.global_prototypes[label] = fused
+            self.global_prototypes[label] = self._fuse_prototypes(
+                np.stack(prototypes)
+            )
         return new_state
+
+    def _fuse_prototypes(self, matrix: np.ndarray) -> np.ndarray:
+        """Fuse one class's ``(clients, dim)`` prototype matrix.
+
+        The historical FINCH path assumes every row is honest; under a
+        Byzantine-robust aggregation rule a poisoned prototype would drag
+        its whole cluster, so the rule's coordinate-wise robust reduction
+        (:meth:`repro.fl.aggregate.Aggregator.reduce_vectors`) replaces
+        clustering — prototypes get the same breakdown point as weights.
+        """
+        if self.aggregator.robust:
+            return self.aggregator.reduce_vectors(matrix)
+        if matrix.shape[0] >= 3:
+            labels = finch(matrix, metric="cosine").last
+            cluster_means = np.stack(
+                [
+                    matrix[labels == cluster].mean(axis=0)
+                    for cluster in range(int(labels.max()) + 1)
+                ]
+            )
+            return cluster_means.mean(axis=0)
+        return matrix.mean(axis=0)

@@ -39,10 +39,11 @@ from repro.eval import (
     run_lodo_protocol,
     run_split_experiment,
 )
+from repro.fl.aggregate import aggregator_specs, make_aggregator
 from repro.fl.codec import codec_specs, make_codec
 from repro.fl.compute import compute_specs
 from repro.fl.executor import EXECUTOR_KINDS
-from repro.fl.faults import make_fault_plan
+from repro.fl.faults import make_deadline_policy, make_fault_plan
 from repro.fl.transport import transport_specs
 from repro.fl.strategy import Strategy
 from repro.utils.tables import format_percent, format_table
@@ -82,6 +83,8 @@ def _setting_from_args(args: argparse.Namespace) -> ExperimentSetting:
         faults=args.faults,
         deadline=args.deadline,
         compute=args.compute,
+        aggregator=args.aggregator,
+        quorum=args.quorum,
     )
 
 
@@ -128,6 +131,33 @@ def _positive_float(value: str) -> float:
     if number <= 0:
         raise argparse.ArgumentTypeError(f"must be > 0, got {value!r}")
     return number
+
+
+def _deadline_spec(value: str) -> float | str:
+    """``"1.5"`` is a fixed budget in seconds (returned as a float, as
+    before adaptive policies existed); ``"percentile:p95"`` is an adaptive
+    spec, validated at parse time and passed through as a string."""
+    try:
+        seconds = float(value)
+    except ValueError:
+        try:
+            make_deadline_policy(value)
+        except (TypeError, ValueError) as exc:
+            raise argparse.ArgumentTypeError(str(exc))
+        return value
+    if seconds <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value!r}")
+    return seconds
+
+
+def _aggregator_spec(value: str) -> str:
+    """Validate an aggregation-rule spec (e.g. ``median``,
+    ``clip(5)+krum``) at parse time so a typo is a usage error."""
+    try:
+        make_aggregator(value)
+    except (TypeError, ValueError) as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return value
 
 
 def _fault_spec(value: str) -> str:
@@ -199,10 +229,25 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "(see repro.fl.faults); faulty rounds aggregate over the survivors",
     )
     parser.add_argument(
-        "--deadline", type=_positive_float, default=None,
-        help="per-round wall-clock budget in seconds; when it expires the "
-        "round closes with whatever updates arrived and stragglers are "
-        "absorbed into the next round",
+        "--deadline", type=_deadline_spec, default=None,
+        help="per-round wall-clock budget: seconds, or an adaptive spec "
+        "like 'percentile:p95' (the p95 of recent round durations, with "
+        "slack); when it expires the round closes with whatever updates "
+        "arrived and stragglers are absorbed into the next round",
+    )
+    parser.add_argument(
+        "--aggregator", type=_aggregator_spec, default="mean",
+        help="server-side aggregation rule: one of "
+        f"{', '.join(aggregator_specs())}, optionally prefixed "
+        "'clip(tau)+' (e.g. 'clip(5)+krum'); 'mean' (default) is the "
+        "historical weighted FedAvg, the others are Byzantine-robust "
+        "(see repro.fl.aggregate)",
+    )
+    parser.add_argument(
+        "--quorum", type=_positive_int, default=None,
+        help="close each round as soon as this many uploads arrived; "
+        "remaining participants are dropped as 'quorum' and the accepted "
+        "set is recorded for exact replay",
     )
     parser.add_argument(
         "--timing", action="store_true",
@@ -224,6 +269,8 @@ _TIMING_HEADER = [
     "dropped",
     "straggler (s)",
     "rebuilt",
+    "rejected",
+    "early close (s)",
 ]
 
 
@@ -235,7 +282,10 @@ def _timing_row(name: str, timing) -> list[str]:
     the local phase; "dropped"/"straggler (s)"/"rebuilt" are the
     fault-tolerance counters — selected clients that produced no
     aggregated update, injected straggler slowdown absorbed, and worker
-    slots rebuilt after crashes (see repro.fl.timing.TimingReport).
+    slots rebuilt after crashes; "rejected"/"early close (s)" are the
+    robustness counters — uploads the aggregation rule excluded and
+    wall-clock saved by quorum early-closes (see
+    repro.fl.timing.TimingReport).
     """
     return [
         name,
@@ -251,6 +301,8 @@ def _timing_row(name: str, timing) -> list[str]:
         str(timing.dropped_clients),
         f"{timing.straggler_seconds:.2f}",
         str(timing.rebuilt_workers),
+        str(timing.rejected_uploads),
+        f"{timing.early_close_seconds:.2f}",
     ]
 
 

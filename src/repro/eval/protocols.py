@@ -49,9 +49,13 @@ class ExperimentSetting:
     broadcast blobs (:mod:`repro.fl.transport`, ``"auto"`` prefers the
     single-copy shm broadcast where supported) — both reach the engine and
     the :class:`repro.fl.server.FederatedConfig` of every run built from
-    this setting.  ``faults`` (a :mod:`repro.fl.faults` spec string) and
-    ``deadline`` (per-round wall-clock budget, seconds) configure the
-    fault-tolerance layer the same way.  ``compute`` names the compute
+    this setting.  ``faults`` (a :mod:`repro.fl.faults` spec string),
+    ``deadline`` (per-round wall-clock budget — seconds or an adaptive
+    ``"percentile:p95"`` spec), and ``quorum`` (close a round after that
+    many uploads) configure the fault-tolerance layer the same way.
+    ``aggregator`` names the Byzantine-robust aggregation rule
+    (:mod:`repro.fl.aggregate`); the default ``"mean"`` is the historical
+    weighted FedAvg.  ``compute`` names the compute
     backend (:mod:`repro.fl.compute`) that trains co-resident client
     groups; ``"auto"`` resolves to the batched ``ensemble`` backend
     whenever the model supports it — a pure throughput knob, since
@@ -71,8 +75,10 @@ class ExperimentSetting:
     codec: str = "identity"
     transport: str = "auto"
     faults: str | None = None
-    deadline: float | None = None
+    deadline: float | str | None = None
     compute: str = "auto"
+    aggregator: str = "mean"
+    quorum: int | None = None
 
     def round_participants(self) -> int:
         """This setting's resolved per-round participant count."""
@@ -98,6 +104,7 @@ class ExperimentSetting:
             faults=self.faults,
             deadline=self.deadline,
             compute=self.compute,
+            quorum=self.quorum,
         )
 
     def model_factory(self, suite: DomainSuite) -> ModelFactory:
@@ -184,6 +191,8 @@ def run_split_experiment(
             faults=setting.faults,
             deadline=setting.deadline,
             compute=setting.compute,
+            aggregator=setting.aggregator,
+            quorum=setting.quorum,
         ),
         executor=executor,
     )

@@ -5,6 +5,16 @@ aggregation, evaluation) with per-phase wall-clock instrumentation.  FedDG
 methods plug in through :class:`repro.fl.Strategy`.
 """
 
+from repro.fl.aggregate import (
+    Aggregator,
+    KrumAggregator,
+    MeanAggregator,
+    MedianAggregator,
+    TrimmedMeanAggregator,
+    aggregator_specs,
+    make_aggregator,
+    register_aggregator,
+)
 from repro.fl.client import Client, ScratchDelta, ScratchSpace
 from repro.fl.codec import Codec, Payload, codec_specs, make_codec
 from repro.fl.compute import (
@@ -32,10 +42,13 @@ from repro.fl.executor import (
     resolve_executor,
 )
 from repro.fl.faults import (
+    AdaptiveDeadline,
     FaultEvent,
     FaultPlan,
+    FixedDeadline,
     RoundFaultReport,
     RoundTimeoutError,
+    make_deadline_policy,
     make_fault_plan,
 )
 from repro.fl.history import RoundRecord, RunHistory
@@ -55,6 +68,14 @@ from repro.fl.transport import (
 )
 
 __all__ = [
+    "Aggregator",
+    "KrumAggregator",
+    "MeanAggregator",
+    "MedianAggregator",
+    "TrimmedMeanAggregator",
+    "aggregator_specs",
+    "make_aggregator",
+    "register_aggregator",
     "Client",
     "ClientUpdate",
     "Codec",
@@ -81,10 +102,13 @@ __all__ = [
     "ParallelExecutor",
     "make_executor",
     "resolve_executor",
+    "AdaptiveDeadline",
     "FaultEvent",
     "FaultPlan",
+    "FixedDeadline",
     "RoundFaultReport",
     "RoundTimeoutError",
+    "make_deadline_policy",
     "make_fault_plan",
     "RoundRecord",
     "RunHistory",

@@ -99,10 +99,13 @@ import os
 import pickle
 import sys
 import time
+from collections import deque
 from concurrent.futures import (
+    FIRST_COMPLETED,
     Future,
     ProcessPoolExecutor as _ProcessPool,
     TimeoutError as _FuturesTimeout,
+    wait as _futures_wait,
 )
 from concurrent.futures.process import BrokenProcessPool as _BrokenPool
 from dataclasses import dataclass, field, replace
@@ -115,10 +118,14 @@ from repro.fl.client import Client, ScratchDelta
 from repro.fl.codec import Codec, Payload, make_codec
 from repro.fl.compute import ComputeBackend, make_compute, resolve_compute
 from repro.fl.faults import (
+    AdaptiveDeadline,
     FaultEvent,
     FaultPlan,
+    FixedDeadline,
     RoundFaultReport,
     RoundTimeoutError,
+    byzantine_state,
+    make_deadline_policy,
     make_fault_plan,
     poison_state,
     state_is_corrupt,
@@ -325,21 +332,144 @@ class Executor:
         self,
         codec: "str | Codec" = "identity",
         faults: "str | FaultPlan | None" = None,
-        deadline: float | None = None,
+        deadline: "float | str | FixedDeadline | AdaptiveDeadline | None" = None,
         compute: str = "auto",
+        quorum: int | None = None,
     ) -> None:
         self.codec = make_codec(codec)
         #: The configured compute spec; ``auto`` until a model resolves it.
         self.compute = resolve_compute(compute)
         self.fault_plan = make_fault_plan(faults)
-        if deadline is not None and deadline <= 0:
-            raise ValueError(f"deadline must be > 0 seconds, got {deadline}")
-        self.deadline = deadline
+        #: The round-deadline policy (:mod:`repro.fl.faults`): ``None`` for
+        #: no deadline, :class:`FixedDeadline` for the historical constant
+        #: budget, :class:`AdaptiveDeadline` for percentile-of-recent-rounds.
+        self.deadline_policy = make_deadline_policy(deadline)
+        if quorum is not None and int(quorum) < 1:
+            raise ValueError(f"quorum must be >= 1, got {quorum}")
+        #: Early-close floor: the round closes at the first ``quorum``
+        #: accepted uploads (``None`` = wait for everyone).
+        self.quorum = None if quorum is None else int(quorum)
         #: The most recent round's fault outcome (who dropped and why,
         #: injected straggler seconds, rebuilt worker slots).  Always
         #: refreshed by run_round, even for fault-free rounds.
         self.last_fault_report: RoundFaultReport | None = None
         self._backend: ComputeBackend | None = None
+        # Measured durations of recent completed rounds, feeding adaptive
+        # deadline policies.  Bounded: no policy window reaches past this.
+        self._round_durations: "deque[float]" = deque(maxlen=32)
+        # round_index -> (accepted client ids, recorded drop map): when set,
+        # run_round replays exactly that membership instead of running its
+        # own round control.  See set_replay.
+        self._replay: (
+            "dict[int, tuple[tuple[int, ...], dict[int, str]]] | None"
+        ) = None
+
+    @property
+    def deadline(self) -> float | None:
+        """Back-compat view of :attr:`deadline_policy`: the fixed per-round
+        seconds, or ``None`` (adaptive policies resolve per round)."""
+        if isinstance(self.deadline_policy, FixedDeadline):
+            return self.deadline_policy.seconds
+        return None
+
+    @property
+    def records_accepted(self) -> bool:
+        """Whether round membership depends on wall clock (quorum races,
+        adaptive deadlines) or on a pinned replay — exactly the cases where
+        the server must record ``RoundRecord.accepted`` for exact replay."""
+        return (
+            self.quorum is not None
+            or self._replay is not None
+            or (self.deadline_policy is not None and self.deadline_policy.adaptive)
+        )
+
+    def set_replay(self, history: object) -> None:
+        """Pin future rounds to a recorded accepted-set per round.
+
+        ``history`` is a :class:`repro.fl.history.RunHistory` (or any
+        iterable of :class:`repro.fl.history.RoundRecord`) whose records
+        carry :attr:`~repro.fl.history.RoundRecord.accepted` — i.e. they
+        came from a quorum / adaptive-deadline run.  A replayed round
+        dispatches exactly the recorded accepted clients (in sampling
+        order), copies the recorded drop map verbatim, and applies no
+        deadline or quorum logic of its own, so the trace is bit-identical
+        to the recorded run on *any* engine — even though the original
+        membership was decided by a wall-clock race.
+        """
+        records = getattr(history, "records", history)
+        replay: "dict[int, tuple[tuple[int, ...], dict[int, str]]]" = {}
+        for record in records:
+            if record.accepted is None:
+                raise ValueError(
+                    f"round {record.round_index} has no recorded accepted "
+                    f"set; only quorum/adaptive-deadline runs record one"
+                )
+            replay[record.round_index] = (
+                tuple(record.accepted),
+                dict(record.dropped),
+            )
+        self._replay = replay
+
+    def clear_replay(self) -> None:
+        """Return to live round control after :meth:`set_replay`."""
+        self._replay = None
+
+    def _current_deadline(self) -> float | None:
+        """This round's wall-clock budget under the configured policy."""
+        if self.deadline_policy is None:
+            return None
+        return self.deadline_policy.resolve(tuple(self._round_durations))
+
+    def _observe_round_duration(self, seconds: float) -> None:
+        """Feed a completed round's duration to adaptive deadline policies
+        (fixed policies ignore history, so don't bother recording)."""
+        if self.deadline_policy is not None and self.deadline_policy.adaptive:
+            self._round_durations.append(float(seconds))
+
+    def _replay_membership(
+        self,
+        participants: Sequence[Client],
+        seeds: Sequence[int],
+        round_index: int,
+        report: RoundFaultReport,
+    ) -> "tuple[list[tuple[Client, int]], dict[int, FaultEvent]] | None":
+        """Resolve a pinned replay for this round, if any.
+
+        Returns the dispatch pairs (the recorded accepted clients, in
+        sampling order) and the fault events to re-inject into them —
+        update-level faults only (straggler sleeps, byzantine payloads):
+        membership faults (dropout, crash, deadline, quorum) are already
+        baked into the recorded drop map, which is copied onto ``report``
+        verbatim.  In particular the plan's crash victim is *not*
+        re-picked — it would deterministically select a fresh victim from
+        the narrowed accepted set.
+        """
+        if self._replay is None:
+            return None
+        entry = self._replay.get(round_index)
+        if entry is None:
+            raise ValueError(
+                f"replay is set but has no entry for round {round_index}"
+            )
+        accepted_ids, recorded_dropped = entry
+        report.dropped.update(recorded_dropped)
+        accepted = set(accepted_ids)
+        pairs = [
+            (client, seed)
+            for client, seed in zip(participants, seeds)
+            if client.client_id in accepted
+        ]
+        injected: dict[int, FaultEvent] = {}
+        if self.fault_plan is not None:
+            for client, _ in pairs:
+                event = self.fault_plan.fault_for(client.client_id, round_index)
+                if event is not None and event.kind in (
+                    "straggler", "hang", "corrupt", "byzantine"
+                ):
+                    injected[client.client_id] = event
+                    if event.kind in ("straggler", "hang"):
+                        report.straggler_seconds += event.delay_seconds
+        return pairs, injected
 
     def run_round(
         self,
@@ -413,21 +543,10 @@ class SerialExecutor(Executor):
         round_index: int,
         seeds: Sequence[int],
     ) -> list[ClientUpdate]:
-        actions = (
-            self.fault_plan.actions_for_round(
-                [client.client_id for client in participants],
-                round_index,
-                self.deadline,
-            )
-            if self.fault_plan is not None
-            else None
-        )
-        report = RoundFaultReport(
-            round_index=round_index,
-            straggler_seconds=actions.straggler_seconds if actions else 0.0,
-        )
-        if actions:
-            report.dropped.update(actions.skipped)
+        round_start = time.perf_counter()
+        round_deadline = self._current_deadline()
+        report = RoundFaultReport(round_index=round_index)
+        replay = self._replay_membership(participants, seeds, round_index, report)
         # What a worker would train from: identical to global_state for
         # lossless codecs, the dequantized broadcast for lossy ones.
         wire_state = self.codec.roundtrip(global_state)
@@ -437,35 +556,59 @@ class SerialExecutor(Executor):
         # independence keeps each client's numerics identical to the
         # per-client loop, so this grouping is invisible in the trace.
         survivors: "list[tuple[Client, int, FaultEvent | None]]" = []
-        for client, seed in zip(participants, seeds):
-            fault = None
-            if actions is not None:
-                if client.client_id in actions.skipped:
-                    continue
-                fault = actions.injected.get(client.client_id)
-            if fault is not None and fault.kind == "crash":
-                # The parallel victim dies on task receipt, after the
-                # server's dispatch-time scratch sync; mirror that sync
-                # point so dirty-tracking stays engine-invariant.
+        if replay is not None:
+            # Pinned membership: dispatch exactly the recorded accepted
+            # clients, re-injecting only the update-level faults (sleeps,
+            # byzantine payloads) that shape what they upload.
+            for client, seed in replay[0]:
+                fault = replay[1].get(client.client_id)
                 client.scratch.collect_delta()
-                report.dropped[client.client_id] = "crash"
-                continue
-            if fault is not None and fault.kind == "hang":
-                # No preemption in-process: approximate the parallel
-                # engine's wall-clock timeout with the cooperative rule.
-                if self.deadline is not None and (
-                    fault.delay_seconds >= self.deadline
-                ):
-                    report.dropped[client.client_id] = "deadline"
+                if fault is not None and fault.kind in ("straggler", "hang"):
+                    time.sleep(fault.delay_seconds)
+                survivors.append((client, seed, fault))
+        else:
+            actions = (
+                self.fault_plan.actions_for_round(
+                    [client.client_id for client in participants],
+                    round_index,
+                    round_deadline,
+                )
+                if self.fault_plan is not None
+                else None
+            )
+            if actions:
+                report.straggler_seconds = actions.straggler_seconds
+                report.dropped.update(actions.skipped)
+            for client, seed in zip(participants, seeds):
+                fault = None
+                if actions is not None:
+                    if client.client_id in actions.skipped:
+                        continue
+                    fault = actions.injected.get(client.client_id)
+                if fault is not None and fault.kind == "crash":
+                    # The parallel victim dies on task receipt, after the
+                    # server's dispatch-time scratch sync; mirror that sync
+                    # point so dirty-tracking stays engine-invariant.
+                    client.scratch.collect_delta()
+                    report.dropped[client.client_id] = "crash"
                     continue
-            # Same sync point the parallel engine has before each task: any
-            # server-side scratch edits are "shipped" to the training side —
-            # a no-op in-process — so the upload delta carries only what the
-            # update itself writes, identically on every engine.
-            client.scratch.collect_delta()
-            if fault is not None and fault.kind in ("straggler", "hang"):
-                time.sleep(fault.delay_seconds)
-            survivors.append((client, seed, fault))
+                if fault is not None and fault.kind == "hang":
+                    # No preemption in-process: approximate the parallel
+                    # engine's wall-clock timeout with the cooperative rule.
+                    if round_deadline is not None and (
+                        fault.delay_seconds >= round_deadline
+                    ):
+                        report.dropped[client.client_id] = "deadline"
+                        continue
+                # Same sync point the parallel engine has before each task:
+                # any server-side scratch edits are "shipped" to the
+                # training side — a no-op in-process — so the upload delta
+                # carries only what the update itself writes, identically
+                # on every engine.
+                client.scratch.collect_delta()
+                if fault is not None and fault.kind in ("straggler", "hang"):
+                    time.sleep(fault.delay_seconds)
+                survivors.append((client, seed, fault))
         backend = self._compute_backend(model)
         group_updates = backend.run_group(
             strategy,
@@ -475,6 +618,9 @@ class SerialExecutor(Executor):
             round_index,
             [seed for _, seed, _ in survivors],
         )
+        norm_screen = (
+            self.fault_plan.norm_screen if self.fault_plan is not None else None
+        )
         updates = []
         for (client, _, fault), update in zip(survivors, group_updates):
             if fault is not None:
@@ -482,18 +628,37 @@ class SerialExecutor(Executor):
                     update.straggler_seconds = fault.delay_seconds
                 elif fault.kind == "corrupt":
                     update.state = poison_state(update.state)
+                elif fault.kind == "byzantine":
+                    # Same hook point as the worker: the attack replaces
+                    # the honest upload before it hits the wire codec, and
+                    # is computed against the decoded broadcast the client
+                    # trained from.
+                    update.state = byzantine_state(
+                        update.state, wire_state, fault
+                    )
             if not self.codec.lossless:
                 # Mirror the upload hop: the server-side aggregation must
                 # consume exactly what a decoded wire upload would hold.
                 update.state = self.codec.roundtrip(update.state)
-            if self.fault_plan is not None and state_is_corrupt(update.state):
+            if self.fault_plan is not None and state_is_corrupt(
+                update.state, ref=global_state, norm_screen=norm_screen
+            ):
                 # Same acceptance check the parallel server runs on every
                 # decoded upload: the weights are distrusted, the scratch
                 # is not (in-process it was already applied in place).
                 report.dropped[client.client_id] = "corrupt"
                 continue
             updates.append(update)
+        if replay is None and self.quorum is not None and len(updates) > self.quorum:
+            # Serial "arrival order" is sampling order, so the early close
+            # deterministically keeps the first `quorum` accepted uploads —
+            # the canonical accepted set a wall-clock engine replays.
+            report.early_closed = True
+            for update in updates[self.quorum :]:
+                report.dropped[update.client_id] = "quorum"
+            updates = updates[: self.quorum]
         self.last_fault_report = report
+        self._observe_round_duration(time.perf_counter() - round_start)
         return updates
 
 
@@ -677,6 +842,14 @@ def _run_resident_task(
         # Poison *before* the codec, like a corrupted upload on a real
         # wire; the server's acceptance check catches it after decode.
         updates[0].state = poison_state(updates[0].state)
+    elif fault is not None and fault.kind == "byzantine":
+        # The adversary trains honestly, then uploads an attack state
+        # built against the broadcast it received — pre-codec, like any
+        # real client-side tampering.  Byzantine clients dispatch as
+        # singleton groups, so the attack targets updates[0].
+        updates[0].state = byzantine_state(
+            updates[0].state, _WORKER_STATE, fault
+        )
     # Codec-encode each upload; ``update.state`` carries the Payload across
     # the wire and the server restores a decoded state before anyone else
     # sees the update.
@@ -752,7 +925,22 @@ class ParallelExecutor(Executor):
         discarded next round and the client is re-registered before its
         next participation — and if *nothing* arrived the round raises
         :class:`repro.fl.faults.RoundTimeoutError` with the offending
-        client ids instead of blocking forever on a hung worker.
+        client ids instead of blocking forever on a hung worker.  Accepts
+        a fixed number of seconds or an adaptive policy spec
+        (``"percentile:p95"`` — see
+        :func:`repro.fl.faults.make_deadline_policy`), which budgets each
+        round from a sliding window of measured round durations.
+    quorum:
+        Early-close floor: with ``quorum=K`` the round closes at the
+        first K *accepted* uploads (arrival order), dropping the
+        outstanding rest (reason ``"quorum"``) with the same absorption
+        contract as a deadline drop.  Wall clock decides who makes the
+        cut, so the server records the accepted set per round
+        (``RoundRecord.accepted``) and :meth:`Executor.set_replay` can
+        reproduce the run exactly on any engine.  Under a deadline, a
+        round that times out below the quorum raises
+        :class:`repro.fl.faults.RoundTimeoutError` naming the quorum and
+        the partial accepted set.
 
     Crashed pool slots are rebuilt in place: the slot's process is
     replaced, the round's broadcast is re-published to it (full-frame for
@@ -791,11 +979,13 @@ class ParallelExecutor(Executor):
         codec: "str | Codec" = "identity",
         transport: "str | Transport" = "auto",
         faults: "str | FaultPlan | None" = None,
-        deadline: float | None = None,
+        deadline: "float | str | FixedDeadline | AdaptiveDeadline | None" = None,
         compute: str = "auto",
+        quorum: int | None = None,
     ) -> None:
         super().__init__(
-            codec=codec, faults=faults, deadline=deadline, compute=compute
+            codec=codec, faults=faults, deadline=deadline, compute=compute,
+            quorum=quorum,
         )
         if num_workers is not None and num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -1010,32 +1200,41 @@ class ParallelExecutor(Executor):
         pools = self._ensure_pools(model)
         self._drain_zombies()
 
-        actions = (
-            self.fault_plan.actions_for_round(
-                [client.client_id for client in participants],
-                round_index,
-                self.deadline,
-            )
-            if self.fault_plan is not None
-            else None
-        )
-        report = RoundFaultReport(
-            round_index=round_index,
-            straggler_seconds=actions.straggler_seconds if actions else 0.0,
-        )
-        injected: dict[int, FaultEvent] = actions.injected if actions else {}
-        if actions:
-            # Plan-skipped clients (dropouts, over-deadline stragglers)
-            # never dispatch: they neither register nor receive a task,
-            # exactly as an unreachable client would behave.
-            report.dropped.update(actions.skipped)
-            dispatch_pairs = [
-                (client, seed)
-                for client, seed in zip(participants, seeds)
-                if client.client_id not in actions.skipped
-            ]
+        round_start = time.perf_counter()
+        round_deadline = self._current_deadline()
+        report = RoundFaultReport(round_index=round_index)
+        replay = self._replay_membership(participants, seeds, round_index, report)
+        if replay is not None:
+            # Pinned membership: dispatch exactly the recorded accepted
+            # set with its update-level faults, and run no deadline or
+            # quorum logic — the recorded drop map already says who fell.
+            dispatch_pairs, injected = replay
+            round_deadline = None
         else:
-            dispatch_pairs = list(zip(participants, seeds))
+            actions = (
+                self.fault_plan.actions_for_round(
+                    [client.client_id for client in participants],
+                    round_index,
+                    round_deadline,
+                )
+                if self.fault_plan is not None
+                else None
+            )
+            if actions:
+                report.straggler_seconds = actions.straggler_seconds
+            injected = actions.injected if actions else {}
+            if actions:
+                # Plan-skipped clients (dropouts, over-deadline stragglers)
+                # never dispatch: they neither register nor receive a task,
+                # exactly as an unreachable client would behave.
+                report.dropped.update(actions.skipped)
+                dispatch_pairs = [
+                    (client, seed)
+                    for client, seed in zip(participants, seeds)
+                    if client.client_id not in actions.skipped
+                ]
+            else:
+                dispatch_pairs = list(zip(participants, seeds))
         dispatched = [client for client, _ in dispatch_pairs]
         for home in range(self.num_workers):
             # A worker that died outside any round (infrastructure
@@ -1165,11 +1364,12 @@ class ParallelExecutor(Executor):
 
             # The deadline clock starts once the whole round is in
             # flight: from here, collection is bounded no matter what the
-            # workers do.
+            # workers do.  Under an adaptive policy the budget is this
+            # round's resolved percentile value (None while warming up).
             deadline_at = (
                 None
-                if self.deadline is None
-                else time.perf_counter() + self.deadline
+                if round_deadline is None
+                else time.perf_counter() + round_deadline
             )
 
             # With the tasks already queued behind them, resolving the
@@ -1197,10 +1397,16 @@ class ParallelExecutor(Executor):
                 except _BrokenPool:
                     pass  # collection rebuilds the slot when it gets there
 
-            self._collect_uploads(
-                pools, pending, updates, round_index, strategy_blob,
-                global_state, deadline_at, injected, report,
-            )
+            if self.quorum is not None and replay is None:
+                self._collect_uploads_quorum(
+                    pools, pending, updates, round_index, strategy_blob,
+                    global_state, deadline_at, injected, report,
+                )
+            else:
+                self._collect_uploads(
+                    pools, pending, updates, round_index, strategy_blob,
+                    global_state, deadline_at, injected, report,
+                )
         finally:
             # Unlink this round's segments even when dispatch, a worker, or
             # an upload failed — callers that catch the error must not
@@ -1208,18 +1414,27 @@ class ParallelExecutor(Executor):
             # round or close().
             self.transport.end_round()
             self.last_fault_report = report
-        if not updates and any(
-            reason == "deadline" for reason in report.dropped.values()
-        ):
-            # The deadline expired with nothing at all to aggregate: that
-            # is a failed round, not a gracefully partial one.
+        deadline_dropped = tuple(
+            client_id
+            for client_id, reason in report.dropped.items()
+            if reason == "deadline"
+        )
+        quorum_missed = (
+            self.quorum is not None
+            and replay is None
+            and len(updates) < self.quorum
+            and bool(deadline_dropped)
+        )
+        if replay is None and deadline_dropped and (not updates or quorum_missed):
+            # The deadline expired with nothing at all to aggregate — or,
+            # under a quorum, with fewer accepted uploads than the
+            # configured floor: that is a failed round, not a gracefully
+            # partial one.
             raise RoundTimeoutError(
                 round_index,
-                tuple(
-                    client_id
-                    for client_id, reason in report.dropped.items()
-                    if reason == "deadline"
-                ),
+                deadline_dropped,
+                quorum=self.quorum,
+                accepted=tuple(update.client_id for update in updates),
             )
         # The per-round timing lists advance in lockstep, and only for
         # rounds that completed (the bench indexes them together).
@@ -1228,6 +1443,7 @@ class ParallelExecutor(Executor):
         self.broadcast_decode_rounds.append(
             sum(update.decode_seconds for update in updates)
         )
+        self._observe_round_duration(time.perf_counter() - round_start)
         return updates
 
     def _collect_uploads(
@@ -1295,44 +1511,179 @@ class ParallelExecutor(Executor):
                     suspects, report,
                 )
                 continue  # re-examine this row: re-submitted or sentinel
-            blob = self.transport.recv_upload(wire)
-            self.wire.upload_bytes += len(blob)
-            row_updates: list[ClientUpdate] = decode_payload(blob)
-            for client, position, update in zip(clients, positions, row_updates):
-                # Restore the codec-encoded state before anything
-                # downstream (aggregation, benches) touches the update.
-                decoded = self.codec.decode(
-                    update.state, self._upload_refs.get(update.client_id)
-                )
-                update.state = decoded
-                if self.codec.stateful:
-                    self._upload_refs[update.client_id] = decoded
-                # The out-of-band decode hands back read-only views into
-                # the upload blob.  That is fine for ``state`` (dropped
-                # after aggregation), but scratch outlives the round:
-                # materialize the delta so server-side scratch holds owned,
-                # writable values instead of pinning every client's blob
-                # for the session.
-                if update.scratch_delta:
-                    update.scratch_delta = pickle.loads(
-                        pickle.dumps(
-                            update.scratch_delta, pickle.HIGHEST_PROTOCOL
-                        )
-                    )
-                # Sync the server-side copy; applying (rather than
-                # recording) keeps its dirty set empty, so nothing bounces
-                # back next round.
-                client.scratch.apply_delta(update.scratch_delta)
-                if self.fault_plan is not None and state_is_corrupt(update.state):
-                    # Acceptance check on every decoded upload: distrust
-                    # the weights, keep the scratch (applied above — the
-                    # serial engine's in-process run mutates it the same
-                    # way), and leave both reference chains advanced so the
-                    # next delta still decodes bit-exactly.
-                    report.dropped[client.client_id] = "corrupt"
-                    continue
-                results[position] = update
+            self._ingest_row(
+                pending[index], wire, global_state, results, report
+            )
             index += 1
+        updates.extend(update for _, update in sorted(results.items()))
+
+    def _ingest_row(
+        self,
+        row: "list",
+        wire: object,
+        global_state: StateDict,
+        results: "dict[int, ClientUpdate]",
+        report: RoundFaultReport,
+    ) -> int:
+        """Decode one group row's upload into ``results`` (keyed by
+        dispatch position), syncing scratch and running the acceptance
+        checks; returns how many updates were accepted.
+
+        The decode order is fixed per row, so both collection strategies
+        (index order in :meth:`_collect_uploads`, arrival order under a
+        quorum) advance the codec reference chains identically for any
+        given set of ingested rows.
+        """
+        clients, _, positions, _ = row
+        blob = self.transport.recv_upload(wire)
+        self.wire.upload_bytes += len(blob)
+        row_updates: list[ClientUpdate] = decode_payload(blob)
+        norm_screen = (
+            self.fault_plan.norm_screen if self.fault_plan is not None else None
+        )
+        accepted = 0
+        for client, position, update in zip(clients, positions, row_updates):
+            # Restore the codec-encoded state before anything
+            # downstream (aggregation, benches) touches the update.
+            decoded = self.codec.decode(
+                update.state, self._upload_refs.get(update.client_id)
+            )
+            update.state = decoded
+            if self.codec.stateful:
+                self._upload_refs[update.client_id] = decoded
+            # The out-of-band decode hands back read-only views into
+            # the upload blob.  That is fine for ``state`` (dropped
+            # after aggregation), but scratch outlives the round:
+            # materialize the delta so server-side scratch holds owned,
+            # writable values instead of pinning every client's blob
+            # for the session.
+            if update.scratch_delta:
+                update.scratch_delta = pickle.loads(
+                    pickle.dumps(
+                        update.scratch_delta, pickle.HIGHEST_PROTOCOL
+                    )
+                )
+            # Sync the server-side copy; applying (rather than
+            # recording) keeps its dirty set empty, so nothing bounces
+            # back next round.
+            client.scratch.apply_delta(update.scratch_delta)
+            if self.fault_plan is not None and state_is_corrupt(
+                update.state, ref=global_state, norm_screen=norm_screen
+            ):
+                # Acceptance check on every decoded upload: distrust
+                # the weights, keep the scratch (applied above — the
+                # serial engine's in-process run mutates it the same
+                # way), and leave both reference chains advanced so the
+                # next delta still decodes bit-exactly.
+                report.dropped[client.client_id] = "corrupt"
+                continue
+            results[position] = update
+            accepted += 1
+        return accepted
+
+    def _collect_uploads_quorum(
+        self,
+        pools: list[_ProcessPool],
+        pending: "list[list]",
+        updates: list[ClientUpdate],
+        round_index: int,
+        strategy_blob: bytes,
+        global_state: StateDict,
+        deadline_at: float | None,
+        injected: "dict[int, FaultEvent]",
+        report: RoundFaultReport,
+    ) -> None:
+        """Arrival-order collection under a quorum: close the round at the
+        first :attr:`quorum` *accepted* uploads instead of waiting for
+        every row.
+
+        Rows are waited on with ``FIRST_COMPLETED`` and ingested as they
+        arrive (in dispatch order within each arrival batch), so which
+        clients make the cut depends on wall clock — by design.  The
+        resulting accepted set is recorded by the server
+        (``RoundRecord.accepted``) and replayed via :meth:`set_replay` for
+        exact reproduction; group rows ingest whole, so a multi-client
+        group crossing the quorum boundary may overshoot the floor.  Once
+        the quorum is met, outstanding rows are dropped (reason
+        ``"quorum"``), their futures absorbed as zombies and their clients
+        evicted from residency — the same absorption contract as a
+        deadline drop — and the wall-clock headroom against the round's
+        deadline is reported as ``early_close_seconds``.
+        """
+        suspects: set[int] = set()
+        results: "dict[int, ClientUpdate]" = {}
+        accepted = 0
+        remaining = list(pending)
+        while True:
+            live: "list[list]" = []
+            for row in remaining:
+                if isinstance(row[3], _DroppedTask):
+                    for client in row[0]:
+                        report.dropped[client.client_id] = row[3].reason
+                else:
+                    live.append(row)
+            remaining = live
+            if not remaining or accepted >= self.quorum:
+                break
+            timeout = (
+                None
+                if deadline_at is None
+                else max(0.0, deadline_at - time.perf_counter())
+            )
+            done, _ = _futures_wait(
+                {row[3] for row in remaining},
+                timeout=timeout,
+                return_when=FIRST_COMPLETED,
+            )
+            if not done:
+                # Deadline with the quorum still unmet: drop everything
+                # outstanding, exactly like the index-order collector.
+                for row in remaining:
+                    for client in row[0]:
+                        report.dropped[client.client_id] = "deadline"
+                        self._resident.pop(client.client_id, None)
+                    self._zombie_futures.append(
+                        (self._home(row[0][0].client_id), row[3])
+                    )
+                remaining = []
+                break
+            recovered = False
+            for row in [r for r in remaining if r[3] in done]:
+                if accepted >= self.quorum:
+                    break
+                try:
+                    wire = row[3].result()
+                except _BrokenPool:
+                    # Scan the whole remaining list: the slot runs FIFO,
+                    # so its first not-yet-harvested row is the task that
+                    # was executing when the process died.
+                    self._recover_broken_slot(
+                        pools, self._home(row[0][0].client_id), remaining,
+                        0, round_index, strategy_blob, global_state,
+                        injected, suspects, report,
+                    )
+                    recovered = True
+                    break  # futures were rewritten; re-enter the wait loop
+                accepted += self._ingest_row(
+                    row, wire, global_state, results, report
+                )
+                remaining.remove(row)
+            if recovered:
+                continue
+        if remaining and accepted >= self.quorum:
+            # Early close: the quorum is met with rows still outstanding.
+            report.early_closed = True
+            if deadline_at is not None:
+                report.early_close_seconds = max(
+                    0.0, deadline_at - time.perf_counter()
+                )
+            for row in remaining:
+                for client in row[0]:
+                    report.dropped[client.client_id] = "quorum"
+                    self._resident.pop(client.client_id, None)
+                self._zombie_futures.append(
+                    (self._home(row[0][0].client_id), row[3])
+                )
         updates.extend(update for _, update in sorted(results.items()))
 
     def _recover_broken_slot(
@@ -1466,7 +1817,18 @@ class ParallelExecutor(Executor):
             # genuinely wedged, which is exactly the failure the deadline
             # existed to survive.  Its result can never be used (the
             # client was dropped and evicted), so kill the process rather
-            # than hand the hang to shutdown's join.
+            # than hand the hang to shutdown's join.  But grant a short
+            # grace first: a kill that lands mid-result-write wedges the
+            # pool's manager thread on a half-read message forever (fork
+            # siblings keep the result pipe's write end open, so the
+            # partial recv never sees EOF) — and absorbed quorum
+            # survivors are *actively finishing*, not wedged; they clear
+            # the grace in milliseconds.
+            if any(not future.done() for _, future in self._zombie_futures):
+                _futures_wait(
+                    {future for _, future in self._zombie_futures},
+                    timeout=0.75,
+                )
             stuck = {
                 home
                 for home, future in self._zombie_futures
@@ -1526,12 +1888,13 @@ def make_executor(
     local_epochs: int = 1,
     transport: "str | Transport" = "auto",
     faults: "str | FaultPlan | None" = None,
-    deadline: float | None = None,
+    deadline: "float | str | None" = None,
     compute: str = "auto",
+    quorum: int | None = None,
 ) -> Executor:
     """Build an engine from the CLI/bench knobs (``--executor`` /
     ``--workers`` / ``--codec`` / ``--transport`` / ``--faults`` /
-    ``--deadline`` / ``--compute``).
+    ``--deadline`` / ``--compute`` / ``--quorum``).
 
     ``kind="auto"`` picks the engine via :func:`resolve_executor` from the
     optional ``participants``/``local_epochs`` hints; an explicit
@@ -1561,12 +1924,13 @@ def make_executor(
                 "pass kind='parallel' or drop the workers count"
             )
         return SerialExecutor(
-            codec=codec, faults=faults, deadline=deadline, compute=compute
+            codec=codec, faults=faults, deadline=deadline, compute=compute,
+            quorum=quorum,
         )
     if kind == "parallel":
         return ParallelExecutor(
             num_workers=workers, codec=codec, transport=transport,
-            faults=faults, deadline=deadline, compute=compute,
+            faults=faults, deadline=deadline, compute=compute, quorum=quorum,
         )
     raise ValueError(
         f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}"

@@ -62,6 +62,38 @@ Fault kinds
     co-resident tasks that died with the process — only the victim itself
     is dropped (reason ``"crash"``), so the survivor set matches the
     serial engine, which simply skips the victim.
+``byzantine``
+    An *adversarial* client: the local update runs honestly, then the
+    upload is replaced by an attack state (:func:`byzantine_state`) that
+    is perfectly well-formed — finite everywhere, right shapes — so it
+    sails through the NaN screen and reaches aggregation, which is the
+    point: only a robust aggregation rule (:mod:`repro.fl.aggregate`) or
+    the opt-in magnitude screen (``screen=``) stops it.  Attack modes:
+    ``signflip`` reflects the honest update through the broadcast state
+    (``ref - delta``), ``scale`` amplifies it by ``BYZANTINE_SCALE``
+    (a model-poisoning boost), ``random`` uploads Gaussian noise matched
+    to the broadcast state's per-tensor scale.  Payloads are pure
+    functions of ``(seed, client, round)`` like every other injection.
+
+Magnitude screen
+----------------
+``screen=M`` arms a second acceptance check on every decoded upload:
+reject states whose global L2 norm exceeds ``M`` times the broadcast
+state's norm (reason ``"corrupt"``, same drop path as NaN — ref-chains
+advance identically).  This catches ``scale``-mode attacks even under the
+plain ``mean`` aggregator.  Off by default: the screen changes no prior
+trace unless asked for.
+
+Round control
+-------------
+Deadlines widen from a fixed float to a *policy*: ``30`` still means 30
+wall-clock seconds every round (:class:`FixedDeadline`), while
+``percentile:p95`` (:class:`AdaptiveDeadline`) tracks a sliding window of
+recent round durations and sets each round's deadline to a percentile of
+the window times a slack factor — no budget until the window has a few
+entries.  :func:`make_deadline_policy` parses both forms.  Quorum
+early-close lives in the executors; the two compose (quorum closes the
+round early, the deadline bounds it).
 
 Spec strings
 ------------
@@ -69,10 +101,12 @@ Spec strings
 compact comma-separated spec, e.g.::
 
     dropout=0.1,straggler=0.25:0.05,corrupt=0.05,crash=1+4,seed=7
+    byzantine=0.2:scale,screen=4,seed=7
 
 ``straggler`` takes ``rate`` or ``rate:delay_seconds``; ``crash`` takes
-``+``-separated round indices.  :func:`make_fault_plan` parses it (and
-passes through ``None`` / already-built plans unchanged).
+``+``-separated round indices; ``byzantine`` takes ``rate`` or
+``rate:mode``; ``screen`` takes the norm multiple.  :func:`make_fault_plan`
+parses it (and passes through ``None`` / already-built plans unchanged).
 """
 
 from __future__ import annotations
@@ -84,41 +118,70 @@ import numpy as np
 from repro.utils.rng import stable_hash
 
 __all__ = [
+    "BYZANTINE_MODES",
     "FAULT_KINDS",
+    "AdaptiveDeadline",
     "FaultEvent",
     "FaultPlan",
+    "FixedDeadline",
     "RoundActions",
     "RoundFaultReport",
     "RoundTimeoutError",
+    "byzantine_state",
+    "make_deadline_policy",
     "make_fault_plan",
     "poison_state",
     "state_is_corrupt",
 ]
 
 #: Injectable fault kinds (see the module docstring for semantics).
-FAULT_KINDS = ("dropout", "straggler", "hang", "corrupt", "crash")
+FAULT_KINDS = ("dropout", "straggler", "hang", "corrupt", "crash", "byzantine")
 
 #: Default injected slowdown for rate-scheduled stragglers (seconds).
 DEFAULT_STRAGGLER_DELAY = 0.05
 
+#: Byzantine attack modes (see the module docstring).
+BYZANTINE_MODES = ("signflip", "scale", "random")
+
+#: Amplification factor for the ``scale`` attack mode.
+BYZANTINE_SCALE = 100.0
+
 
 class RoundTimeoutError(RuntimeError):
-    """A round's deadline expired with *zero* updates collected.
+    """A round's deadline expired before the round could close.
 
     Partial aggregation absorbs individual stragglers (survivors are
     aggregated, the rest are dropped and recorded), but when the deadline
-    passes and nothing at all arrived there is no state to aggregate —
-    the round failed, and the caller gets the offending client ids
-    instead of an untyped hang or a bare pool error.
+    passes with *zero* updates — or, under a configured quorum, with fewer
+    accepted uploads than the quorum floor — there is no viable round.
+    The error names the offending client ids, and, when a quorum was
+    configured, the quorum itself plus the partial accepted set, so the
+    failure is diagnosable from the message alone.
     """
 
-    def __init__(self, round_index: int, client_ids: tuple[int, ...]) -> None:
+    def __init__(
+        self,
+        round_index: int,
+        client_ids: tuple[int, ...],
+        quorum: int | None = None,
+        accepted: tuple[int, ...] = (),
+    ) -> None:
         self.round_index = int(round_index)
         self.client_ids = tuple(client_ids)
-        super().__init__(
+        self.quorum = None if quorum is None else int(quorum)
+        self.accepted = tuple(accepted)
+        message = (
             f"round {round_index} deadline expired with no updates; "
             f"outstanding clients: {list(self.client_ids)}"
         )
+        if self.quorum is not None:
+            message = (
+                f"round {round_index} deadline expired below quorum "
+                f"{self.quorum} (accepted {len(self.accepted)}: "
+                f"{list(self.accepted)}); outstanding clients: "
+                f"{list(self.client_ids)}"
+            )
+        super().__init__(message)
 
 
 @dataclass(frozen=True)
@@ -136,6 +199,12 @@ class FaultEvent:
     round_index: int
     client_id: int
     delay_seconds: float = 0.0
+    #: Attack mode (``byzantine`` only; defaults to ``signflip``).
+    mode: str = ""
+    #: Seed for randomized attack payloads (``byzantine`` only) — events
+    #: carry it because the parallel engine ships events, not the plan,
+    #: into worker tasks.
+    payload_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -146,6 +215,14 @@ class FaultEvent:
             raise ValueError(
                 f"delay_seconds must be >= 0, got {self.delay_seconds}"
             )
+        if self.kind == "byzantine":
+            if not self.mode:
+                object.__setattr__(self, "mode", BYZANTINE_MODES[0])
+            if self.mode not in BYZANTINE_MODES:
+                raise ValueError(
+                    f"unknown byzantine mode {self.mode!r}; expected one of "
+                    f"{BYZANTINE_MODES}"
+                )
 
 
 @dataclass
@@ -180,6 +257,11 @@ class RoundFaultReport:
     dropped: dict[int, str] = field(default_factory=dict)
     straggler_seconds: float = 0.0
     rebuilt_workers: int = 0
+    #: Whether a quorum closed the round before all uploads arrived.
+    early_closed: bool = False
+    #: Wall-clock seconds the early close saved against the round's
+    #: deadline (0 when no deadline was configured).
+    early_close_seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -201,15 +283,30 @@ class FaultPlan:
     corrupt_rate: float = 0.0
     crash_rounds: tuple[int, ...] = ()
     events: tuple[FaultEvent, ...] = ()
+    byzantine_rate: float = 0.0
+    byzantine_mode: str = BYZANTINE_MODES[0]
+    #: Magnitude screen: reject uploads whose global norm exceeds this
+    #: multiple of the broadcast state's norm (``None`` = screen off).
+    norm_screen: float | None = None
 
     def __post_init__(self) -> None:
-        for name in ("dropout_rate", "straggler_rate", "corrupt_rate"):
+        for name in ("dropout_rate", "straggler_rate", "corrupt_rate",
+                     "byzantine_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
         if self.straggler_delay < 0:
             raise ValueError(
                 f"straggler_delay must be >= 0, got {self.straggler_delay}"
+            )
+        if self.byzantine_mode not in BYZANTINE_MODES:
+            raise ValueError(
+                f"unknown byzantine mode {self.byzantine_mode!r}; expected "
+                f"one of {BYZANTINE_MODES}"
+            )
+        if self.norm_screen is not None and self.norm_screen <= 0:
+            raise ValueError(
+                f"norm_screen must be > 0, got {self.norm_screen}"
             )
         object.__setattr__(
             self, "crash_rounds", tuple(int(r) for r in self.crash_rounds)
@@ -234,9 +331,9 @@ class FaultPlan:
         """The fault hitting ``client_id`` in ``round_index``, if any.
 
         Explicit events win; otherwise the rate-based kinds are checked in
-        a fixed precedence order (dropout, straggler, corrupt) so at most
-        one fault fires per cell.  Crashes are scheduled per *round*, not
-        per client — see :meth:`crash_victim`.
+        a fixed precedence order (dropout, straggler, corrupt, byzantine)
+        so at most one fault fires per cell.  Crashes are scheduled per
+        *round*, not per client — see :meth:`crash_victim`.
         """
         for event in self.events:
             if (
@@ -254,6 +351,14 @@ class FaultPlan:
             )
         if self._chance("corrupt", client_id, round_index) < self.corrupt_rate:
             return FaultEvent("corrupt", round_index, client_id)
+        if self._chance("byzantine", client_id, round_index) < self.byzantine_rate:
+            return FaultEvent(
+                "byzantine", round_index, client_id,
+                mode=self.byzantine_mode,
+                payload_seed=stable_hash(
+                    self.seed, "byzantine-payload", client_id, round_index
+                ),
+            )
         return None
 
     def crash_victim(
@@ -300,7 +405,7 @@ class FaultPlan:
                     actions.skipped[client_id] = "straggler"
                 else:
                     actions.injected[client_id] = event
-            else:  # hang / corrupt execute inside the update
+            else:  # hang / corrupt / byzantine execute inside the update
                 actions.injected[client_id] = event
         victim = self.crash_victim(
             round_index,
@@ -347,12 +452,20 @@ def make_fault_plan(spec: "str | FaultPlan | None") -> FaultPlan | None:
                 kwargs["crash_rounds"] = tuple(
                     int(r) for r in value.split("+") if r
                 )
+            elif key == "byzantine":
+                rate, _, mode = value.partition(":")
+                kwargs["byzantine_rate"] = float(rate)
+                if mode:
+                    kwargs["byzantine_mode"] = mode
+            elif key == "screen":
+                kwargs["norm_screen"] = float(value)
             elif key == "seed":
                 kwargs["seed"] = int(value)
             else:
                 raise ValueError(
                     f"unknown fault spec key {key!r} in {spec!r}; expected "
-                    f"dropout, straggler, corrupt, crash, or seed"
+                    f"dropout, straggler, corrupt, crash, byzantine, "
+                    f"screen, or seed"
                 )
         except ValueError as exc:
             if "fault spec" in str(exc):
@@ -380,10 +493,192 @@ def poison_state(state: dict) -> dict:
     return poisoned
 
 
-def state_is_corrupt(state: dict) -> bool:
-    """Whether any tensor in ``state`` carries a non-finite value — the
-    server-side acceptance check engines run on every decoded upload when
-    a fault plan is active."""
-    return any(
-        not np.isfinite(np.asarray(value)).all() for value in state.values()
+def byzantine_state(state: dict, ref: dict, event: FaultEvent) -> dict:
+    """The adversarial upload a byzantine client sends instead of its
+    honest update.
+
+    A pure function of ``(state, ref, event)`` — the event carries the
+    attack ``mode`` and ``payload_seed``, so both engines (and any worker)
+    produce bit-identical attack states.  ``ref`` is the round's broadcast
+    state: attacks are expressed against the update delta, which is what
+    aggregation actually consumes.  Non-floating tensors pass through
+    untouched; every produced value is finite, so the attack reaches
+    aggregation (defeating it is the aggregator's job, or the magnitude
+    screen's).
+    """
+    if event.kind != "byzantine":
+        raise ValueError(f"expected a byzantine event, got {event.kind!r}")
+    rng = (
+        np.random.default_rng(event.payload_seed)
+        if event.mode == "random"
+        else None
     )
+    attacked = {}
+    for key, value in state.items():
+        value = np.asarray(value)
+        if not np.issubdtype(value.dtype, np.floating):
+            attacked[key] = value
+            continue
+        base = np.asarray(ref[key])
+        if event.mode == "signflip":
+            attacked[key] = (2.0 * base - value).astype(value.dtype, copy=False)
+        elif event.mode == "scale":
+            attacked[key] = (
+                base + BYZANTINE_SCALE * (value - base)
+            ).astype(value.dtype, copy=False)
+        else:  # random
+            sigma = float(np.std(base)) or 1.0
+            attacked[key] = rng.normal(0.0, sigma, size=value.shape).astype(
+                value.dtype
+            )
+    return attacked
+
+
+def _state_norm(state: dict) -> float:
+    """Global L2 norm over the floating tensors of ``state``."""
+    total = 0.0
+    for value in state.values():
+        value = np.asarray(value)
+        if np.issubdtype(value.dtype, np.floating):
+            total += float(np.square(value, dtype=np.float64).sum())
+    return float(np.sqrt(total))
+
+
+def state_is_corrupt(
+    state: dict,
+    ref: dict | None = None,
+    norm_screen: float | None = None,
+) -> bool:
+    """Whether an upload fails the server-side acceptance checks.
+
+    The base check rejects any non-finite value.  When a broadcast
+    reference and a ``norm_screen`` multiple are supplied, a magnitude
+    screen additionally rejects states whose global L2 norm exceeds
+    ``norm_screen x ||ref||`` — finite but absurdly scaled uploads (the
+    ``scale`` byzantine mode) fail this even though every value is a
+    perfectly ordinary float.  Engines run this on every decoded upload
+    when a fault plan is active; rejects use the ``"corrupt"`` drop path,
+    so codec ref-chains stay in lockstep exactly as for NaN poisoning.
+    """
+    if any(
+        not np.isfinite(np.asarray(value)).all() for value in state.values()
+    ):
+        return True
+    if ref is not None and norm_screen is not None:
+        ref_norm = _state_norm(ref)
+        if ref_norm > 0 and _state_norm(state) > norm_screen * ref_norm:
+            return True
+    return False
+
+
+# -- deadline policies --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FixedDeadline:
+    """The historical deadline: a constant wall-clock budget per round."""
+
+    seconds: float
+    #: Fixed policies never adapt; the attribute keeps the two policy
+    #: types interchangeable for the executors.
+    adaptive = False
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0:
+            raise ValueError(
+                f"deadline must be > 0 seconds, got {self.seconds}"
+            )
+
+    @property
+    def spec(self) -> float:
+        return self.seconds
+
+    def resolve(self, durations: "list[float] | tuple[float, ...]") -> float:
+        return self.seconds
+
+
+#: Rounds of history an adaptive policy needs before it starts enforcing.
+ADAPTIVE_WARMUP_ROUNDS = 3
+
+
+@dataclass(frozen=True)
+class AdaptiveDeadline:
+    """Percentile-of-recent-rounds deadline (``--deadline percentile:p95``).
+
+    Each round's budget is the given percentile of a sliding window of
+    measured round durations, times a ``slack`` factor (a p95 deadline
+    with no slack would kill ~5% of honest rounds).  The first
+    ``ADAPTIVE_WARMUP_ROUNDS`` rounds run unbounded while the window
+    fills — there is nothing defensible to extrapolate from one sample.
+    Because the budget depends on wall clock, adaptive runs are *not*
+    trace-reproducible by construction; the executors record the accepted
+    survivor set per round (``RoundRecord.accepted``) so they replay
+    exactly instead.
+    """
+
+    percentile: float = 95.0
+    window: int = 8
+    slack: float = 1.5
+    adaptive = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.percentile <= 100.0:
+            raise ValueError(
+                f"percentile must be in (0, 100], got {self.percentile}"
+            )
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.slack <= 0:
+            raise ValueError(f"slack must be > 0, got {self.slack}")
+
+    @property
+    def spec(self) -> str:
+        return f"percentile:p{self.percentile:g}"
+
+    def resolve(
+        self, durations: "list[float] | tuple[float, ...]"
+    ) -> float | None:
+        history = list(durations)[-self.window :]
+        if len(history) < ADAPTIVE_WARMUP_ROUNDS:
+            return None
+        return float(np.percentile(history, self.percentile)) * self.slack
+
+
+def make_deadline_policy(
+    spec: "float | str | FixedDeadline | AdaptiveDeadline | None",
+) -> "FixedDeadline | AdaptiveDeadline | None":
+    """Build a deadline policy from any accepted ``deadline`` form.
+
+    ``None`` (no deadline) and already-built policies pass through; a
+    number builds the historical :class:`FixedDeadline`; the string form
+    ``"percentile:pNN"`` builds an :class:`AdaptiveDeadline` (a numeric
+    string is accepted as a fixed deadline for CLI convenience).
+    """
+    if spec is None or isinstance(spec, (FixedDeadline, AdaptiveDeadline)):
+        return spec
+    if isinstance(spec, (int, float)) and not isinstance(spec, bool):
+        return FixedDeadline(float(spec))
+    if not isinstance(spec, str) or not spec.strip():
+        raise TypeError(
+            f"deadline must be seconds or 'percentile:pNN', got {spec!r}"
+        )
+    text = spec.strip()
+    try:
+        seconds = float(text)
+    except ValueError:
+        seconds = None
+    if seconds is not None:
+        return FixedDeadline(seconds)
+    head, _, tail = text.partition(":")
+    if head.strip() != "percentile" or not tail.strip().startswith("p"):
+        raise ValueError(
+            f"bad deadline spec {spec!r}; expected seconds or "
+            f"'percentile:pNN' (e.g. percentile:p95)"
+        )
+    try:
+        percentile = float(tail.strip()[1:])
+    except ValueError as exc:
+        raise ValueError(
+            f"bad percentile in deadline spec {spec!r}"
+        ) from exc
+    return AdaptiveDeadline(percentile=percentile)

@@ -14,8 +14,18 @@ class RoundRecord:
     ``participants`` is who the sampler *selected*; ``dropped`` maps the
     selected clients that produced no aggregated update to the reason the
     fault layer recorded (``"dropout"``, ``"straggler"``, ``"deadline"``,
-    ``"corrupt"``, ``"crash"`` — see :mod:`repro.fl.faults`).  Aggregation
-    reweighted over the survivors: ``participants`` minus ``dropped``.
+    ``"corrupt"``, ``"crash"``, ``"quorum"`` — see :mod:`repro.fl.faults`).
+    Aggregation reweighted over the survivors: ``participants`` minus
+    ``dropped``.
+
+    ``accepted`` is recorded only when round membership depended on wall
+    clock (quorum early-close, adaptive deadlines) or on a replay: the
+    exact client ids whose updates reached aggregation, in aggregation
+    order.  Feeding a history carrying it to
+    :meth:`repro.fl.executor.Executor.set_replay` reproduces the run
+    bit-identically even though the original arrival race does not.
+    ``None`` (the default) keeps records from deterministic runs identical
+    to prior releases.
     """
 
     round_index: int
@@ -23,6 +33,7 @@ class RoundRecord:
     participants: list[int]
     eval_accuracy: dict[str, float] = field(default_factory=dict)
     dropped: dict[int, str] = field(default_factory=dict)
+    accepted: list[int] | None = None
 
     @property
     def survivors(self) -> list[int]:

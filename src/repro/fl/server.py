@@ -19,12 +19,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.synthetic import LabeledDataset
+from repro.fl.aggregate import make_aggregator
 from repro.fl.evaluation import evaluate_accuracy
 from repro.fl.client import Client
 from repro.fl.codec import make_codec
 from repro.fl.compute import resolve_compute
 from repro.fl.executor import Executor, SerialExecutor
-from repro.fl.faults import make_fault_plan
+from repro.fl.faults import make_deadline_policy, make_fault_plan
 from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.sampling import UniformClientSampler
 from repro.fl.strategy import Strategy
@@ -64,10 +65,21 @@ class FederatedConfig:
     ``faults`` names a deterministic fault-injection plan
     (:mod:`repro.fl.faults` spec string, e.g.
     ``"dropout=0.1,straggler=0.25:0.05,crash=2,seed=7"``) and ``deadline``
-    a per-round wall-clock budget in seconds; both change *who survives a
-    round* and therefore belong to the experiment definition, so — like
-    the codec — a caller-supplied engine must agree with them (checked at
-    server construction).
+    a per-round wall-clock budget — seconds, or an adaptive spec such as
+    ``"percentile:p95"`` (see :func:`repro.fl.faults.make_deadline_policy`);
+    both change *who survives a round* and therefore belong to the
+    experiment definition, so — like the codec — a caller-supplied engine
+    must agree with them (checked at server construction).  ``quorum``
+    closes a round early once that many uploads arrived (remaining
+    participants are dropped as ``"quorum"``); like the deadline it is
+    cross-checked against a caller-supplied engine.
+
+    ``aggregator`` names the server-side aggregation rule
+    (:mod:`repro.fl.aggregate` spec string, e.g. ``"median"``,
+    ``"clip(5)+krum"``).  The default ``"mean"`` is the historical
+    weighted FedAvg reduction, bit for bit.  A non-default spec is
+    installed onto the strategy at server construction; a strategy that
+    already carries its own non-mean rule must agree with the config.
 
     ``compute`` names the compute backend (:mod:`repro.fl.compute`) that
     trains each co-resident client group: ``"auto"`` (default) resolves to
@@ -85,18 +97,23 @@ class FederatedConfig:
     codec: str = "identity"
     transport: str = "auto"
     faults: str | None = None
-    deadline: float | None = None
+    deadline: float | str | None = None
     compute: str = "auto"
+    aggregator: str = "mean"
+    quorum: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_rounds < 1:
             raise ValueError(f"num_rounds must be >= 1, got {self.num_rounds}")
         if self.eval_every < 1:
             raise ValueError(f"eval_every must be >= 1, got {self.eval_every}")
-        if self.deadline is not None and self.deadline <= 0:
-            raise ValueError(
-                f"deadline must be > 0 seconds, got {self.deadline}"
-            )
+        # Deadline validation (seconds > 0, or a known adaptive spec) lives
+        # with the policy maker.
+        make_deadline_policy(self.deadline)
+        if self.quorum is not None and self.quorum < 1:
+            raise ValueError(f"quorum must be >= 1, got {self.quorum}")
+        # Aggregation-rule spec: fail at config time, not mid-run.
+        make_aggregator(self.aggregator)
         # Participation validation lives with the sampler (the single source
         # of truth for the count-vs-fraction convention); constructing one
         # surfaces bad values at config time with the sampler's own errors.
@@ -171,6 +188,7 @@ class FederatedServer:
         self.executor = executor or SerialExecutor(
             codec=config.codec, faults=config.faults,
             deadline=config.deadline, compute=config.compute,
+            quorum=config.quorum,
         )
         if self.executor.codec.spec != make_codec(config.codec).spec:
             raise ValueError(
@@ -192,13 +210,19 @@ class FederatedServer:
                 f"faults=...))"
             )
         if config.deadline is not None and (
-            self.executor.deadline != config.deadline
+            self.executor.deadline_policy != make_deadline_policy(config.deadline)
         ):
             raise ValueError(
-                f"executor carries deadline {self.executor.deadline!r} but "
-                f"the config asks for {config.deadline!r}; build the engine "
-                f"with the config's deadline (make_executor(..., "
-                f"deadline=...))"
+                f"executor carries deadline "
+                f"{self.executor.deadline_policy!r} but the config asks for "
+                f"{config.deadline!r}; build the engine with the config's "
+                f"deadline (make_executor(..., deadline=...))"
+            )
+        if config.quorum is not None and self.executor.quorum != config.quorum:
+            raise ValueError(
+                f"executor carries quorum {self.executor.quorum!r} but the "
+                f"config asks for {config.quorum!r}; build the engine with "
+                f"the config's quorum (make_executor(..., quorum=...))"
             )
         # A pinned compute spec is part of the experiment record: the
         # result is bitwise the same either way, but "what ran" must not
@@ -211,6 +235,21 @@ class FederatedServer:
                 f"engine with the config's backend (make_executor(..., "
                 f"compute=...))"
             )
+        # The aggregation rule belongs to the experiment definition; a
+        # non-default config spec is installed onto a default-``mean``
+        # strategy so CLI/protocol paths need no constructor plumbing, but
+        # a strategy already carrying a different non-mean rule is a
+        # conflict, not something to silently overwrite.
+        if config.aggregator != "mean":
+            wanted = make_aggregator(config.aggregator)
+            if self.strategy.aggregator.spec == "mean":
+                self.strategy.aggregator = wanted
+            elif self.strategy.aggregator.spec != wanted.spec:
+                raise ValueError(
+                    f"strategy carries aggregator "
+                    f"{self.strategy.aggregator.spec!r} but the config asks "
+                    f"for {config.aggregator!r}; drop one of the two"
+                )
         self.sampler = UniformClientSampler(config.clients_per_round)
         self._seed_tree = SeedTree(config.seed).child("server", strategy.name)
 
@@ -274,6 +313,10 @@ class FederatedServer:
                     straggler_seconds=fault_report.straggler_seconds,
                     rebuilt_workers=fault_report.rebuilt_workers,
                 )
+                timer.record_robustness(
+                    early_closed_rounds=1 if fault_report.early_closed else 0,
+                    early_close_seconds=fault_report.early_close_seconds,
+                )
             wire_now = self.executor.wire_stats()
             timer.record_bytes(
                 wire_now.bytes_up - wire_before.bytes_up,
@@ -286,6 +329,9 @@ class FederatedServer:
                 global_state = self.strategy.aggregate(
                     global_state, updates, round_index
                 )
+            timer.record_robustness(
+                rejected_uploads=len(self.strategy.aggregator.last_rejected)
+            )
 
             losses = [update.loss for update in updates]
             record = RoundRecord(
@@ -293,6 +339,11 @@ class FederatedServer:
                 mean_local_loss=float(np.mean(losses)) if losses else 0.0,
                 participants=[c.client_id for c in participants],
                 dropped=dropped,
+                accepted=(
+                    [update.client_id for update in updates]
+                    if self.executor.records_accepted
+                    else None
+                ),
             )
             is_last = round_index == self.config.num_rounds - 1
             if is_last or (round_index + 1) % self.config.eval_every == 0:

@@ -42,13 +42,14 @@ import numpy as np
 
 from repro.data.loader import Batcher
 from repro.data.synthetic import LabeledDataset
+from repro.fl.aggregate import Aggregator, make_aggregator
 from repro.fl.client import Client
 from repro.fl.executor import ClientUpdate
 from repro.nn import SGD, CrossEntropyLoss
 from repro.nn.ensemble import ensemble_cross_entropy, ensemble_state_dicts
 from repro.nn.models import FeatureClassifierModel
 from repro.nn.module import Module
-from repro.nn.serialize import StateDict, average_states
+from repro.nn.serialize import StateDict
 
 __all__ = ["LocalTrainingConfig", "Strategy", "run_ce_epochs"]
 
@@ -117,8 +118,17 @@ class Strategy:
     #: process — server-side handles that a local update must not depend on.
     _server_only_state: tuple[str, ...] = ()
 
-    def __init__(self, local_config: LocalTrainingConfig | None = None) -> None:
+    def __init__(
+        self,
+        local_config: LocalTrainingConfig | None = None,
+        aggregator: "str | Aggregator | None" = None,
+    ) -> None:
         self.local_config = local_config or LocalTrainingConfig()
+        #: The server-side aggregation rule (:mod:`repro.fl.aggregate`).
+        #: Defaults to the historical weighted mean; the server installs
+        #: the config's rule onto a default-``mean`` strategy, so CLI
+        #: strategies need no constructor plumbing.
+        self.aggregator = make_aggregator(aggregator)
 
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
@@ -241,6 +251,12 @@ class Strategy:
         wire format.  Decoded tensors may be read-only zero-copy views —
         treat them as immutable and allocate fresh outputs, as
         :func:`repro.nn.serialize.average_states` does.
+
+        The reduction itself is delegated to :attr:`aggregator`
+        (:mod:`repro.fl.aggregate`), so every strategy built on this hook
+        inherits whichever Byzantine-robust rule the run configured; the
+        default ``mean`` rule is the historical weighted
+        ``average_states`` call, bit for bit.
         """
         if not updates:
             return global_state
@@ -248,4 +264,4 @@ class Strategy:
         weights = [float(update.num_samples) for update in updates]
         if sum(weights) <= 0:
             weights = [1.0] * len(states)
-        return average_states(states, weights)
+        return self.aggregator.aggregate(states, weights, ref=global_state)

@@ -54,6 +54,14 @@ class TimingReport:
     straggler_seconds: float = 0.0
     #: ... and worker-pool slots rebuilt after a crash.
     rebuilt_workers: int = 0
+    #: Robustness counters (see repro.fl.aggregate): uploads the
+    #: aggregation rule excluded outright (krum's non-selected peers), ...
+    rejected_uploads: int = 0
+    #: ... rounds a quorum closed before every upload arrived, ...
+    early_closed_rounds: int = 0
+    #: ... and the wall-clock headroom those early closes saved against
+    #: the rounds' deadlines.
+    early_close_seconds: float = 0.0
 
     @property
     def local_train_seconds_mean(self) -> float:
@@ -99,6 +107,9 @@ class PhaseTimer:
         self._dropped_clients = 0
         self._straggler_seconds = 0.0
         self._rebuilt_workers = 0
+        self._rejected_uploads = 0
+        self._early_closed_rounds = 0
+        self._early_close_seconds = 0.0
 
     @contextmanager
     def one_time(self) -> Iterator[None]:
@@ -166,6 +177,20 @@ class PhaseTimer:
         self._straggler_seconds += float(straggler_seconds)
         self._rebuilt_workers += int(rebuilt_workers)
 
+    def record_robustness(
+        self,
+        rejected_uploads: int = 0,
+        early_closed_rounds: int = 0,
+        early_close_seconds: float = 0.0,
+    ) -> None:
+        """Account one round's robustness outcome: uploads the aggregation
+        rule rejected (:attr:`repro.fl.aggregate.Aggregator.last_rejected`)
+        and quorum early-close savings
+        (:class:`repro.fl.faults.RoundFaultReport`)."""
+        self._rejected_uploads += int(rejected_uploads)
+        self._early_closed_rounds += int(early_closed_rounds)
+        self._early_close_seconds += float(early_close_seconds)
+
     def record_broadcast_decode(self, seconds: float) -> None:
         """Account one worker-measured lazy broadcast decode (the overlap
         window: this work ran inside the local phase, not behind a
@@ -196,4 +221,7 @@ class PhaseTimer:
             dropped_clients=self._dropped_clients,
             straggler_seconds=self._straggler_seconds,
             rebuilt_workers=self._rebuilt_workers,
+            rejected_uploads=self._rejected_uploads,
+            early_closed_rounds=self._early_closed_rounds,
+            early_close_seconds=self._early_close_seconds,
         )
