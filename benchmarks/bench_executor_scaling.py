@@ -79,18 +79,21 @@ from __future__ import annotations
 import argparse
 import pickle
 import time
+import tracemalloc
 
 import numpy as np
 
-from common import bench_rounds, emit, emit_json, samples_per_class
+from common import bench_rounds, emit, emit_json, is_fast_mode, samples_per_class
 
 from repro.baselines import FedAvgStrategy
 from repro.core import PardonStrategy
 from repro.data import synthetic_pacs, partition_clients
+from repro.data.synthetic import LabeledDataset
 from repro.fl import (
     Client,
     FederatedConfig,
     FederatedServer,
+    LazyPopulation,
     LocalTrainingConfig,
     ParallelExecutor,
     SerialExecutor,
@@ -725,6 +728,141 @@ def _run_robust(suite) -> str:
     )
 
 
+def _scale_factory(image_shape=(3, 8, 8), num_classes=7, samples=6):
+    """A deterministic lazy client factory: each id regenerates the same
+    small synthetic shard, so a 100k-client population costs nothing until
+    a client is actually sampled."""
+
+    def factory(client_id: int) -> Client:
+        rng = np.random.default_rng(90_000 + client_id)
+        dataset = LabeledDataset(
+            images=rng.normal(size=(samples,) + tuple(image_shape)),
+            labels=rng.integers(0, num_classes, size=samples),
+            domain_ids=np.zeros(samples, dtype=np.int64),
+        )
+        return Client(client_id, dataset)
+
+    return factory
+
+
+def _scale_session(population_size, participants, rounds, topology="flat",
+                   workers=None):
+    factory = _scale_factory()
+    model = build_cnn_model((3, 8, 8), 7, rng=np.random.default_rng(0))
+    executor = make_executor(
+        "serial" if workers is None else "parallel", workers=workers
+    )
+    server = FederatedServer(
+        strategy=FedAvgStrategy(LocalTrainingConfig(batch_size=32)),
+        clients=LazyPopulation(population_size, factory),
+        model=model,
+        eval_sets={"test": factory(0).dataset},
+        config=FederatedConfig(
+            num_rounds=rounds, clients_per_round=participants, seed=0,
+            topology=topology,
+        ),
+        executor=executor,
+    )
+    try:
+        return server.run()
+    finally:
+        executor.close()
+
+
+def _run_scale() -> str:
+    """Population scaling — server peak memory must track the participant
+    count, not the population size.
+
+    Two lazy populations (1k and 100k clients) run the same serial FedAvg
+    session at a fixed participant count under ``tracemalloc``; the 100k
+    peak must stay within 2x of the 1k peak, or the server is still
+    holding per-population state somewhere.  A second check replays a
+    small lazy session with the two-tier ``edge:4`` topology on both
+    engines and demands the trace and final model stay bit-identical to
+    flat FedAvg.  The sweep is also written as ``BENCH_scale.json``.
+    """
+    participants = 64 if is_fast_mode() else 128
+    rounds = 2 if is_fast_mode() else 3
+    sizes = (1_000, 100_000)
+    rows = []
+    sweep = []
+    peaks = {}
+    for size in sizes:
+        tracemalloc.start()
+        try:
+            start = time.perf_counter()
+            result = _scale_session(size, participants, rounds)
+            elapsed = time.perf_counter() - start
+            peak = result.timing.peak_memory_bytes
+            if not peak:
+                peak = tracemalloc.get_traced_memory()[1]
+        finally:
+            tracemalloc.stop()
+        peaks[size] = peak
+        sweep.append(
+            {
+                "population": size,
+                "peak_bytes": peak,
+                "seconds": round(elapsed, 3),
+            }
+        )
+    ratio = peaks[sizes[-1]] / peaks[sizes[0]]
+    within_2x = ratio < 2.0
+    for size in sizes:
+        rows.append(
+            [
+                f"{size:,}",
+                f"{peaks[size] / (1024 * 1024):.1f}",
+                f"{peaks[size] / peaks[sizes[0]]:.2f}x",
+            ]
+        )
+
+    edge_identical = {}
+    for label, workers in (("serial", None), ("parallel", 2)):
+        flat = _scale_session(1_000, 16, 2, topology="flat", workers=workers)
+        edged = _scale_session(1_000, 16, 2, topology="edge:4",
+                               workers=workers)
+        edge_identical[label] = bool(
+            _trace_of(flat) == _trace_of(edged)
+            and sorted(flat.final_state) == sorted(edged.final_state)
+            and all(
+                np.array_equal(flat.final_state[key], edged.final_state[key])
+                for key in flat.final_state
+            )
+        )
+
+    emit_json(
+        "scale",
+        {
+            "participants": participants,
+            "rounds": rounds,
+            "samples_per_client": 6,
+            "engine": "serial",
+            "sweep": sweep,
+            "peak_ratio_large_vs_small": round(ratio, 3),
+            "within_2x": within_2x,
+            "edge_topology": {
+                "spec": "edge:4",
+                "flat_identical": edge_identical,
+            },
+        },
+    )
+    table = format_table(
+        ["Population", "server peak (MiB)", "vs 1k"],
+        rows,
+        title=(
+            f"Population scaling — lazy clients, streaming aggregation "
+            f"({participants} participants/round, {rounds} rounds, serial; "
+            f"within 2x: {'yes' if within_2x else 'NO'})"
+        ),
+    )
+    edge_line = ", ".join(
+        f"{label} {'yes' if ok else 'NO'}"
+        for label, ok in edge_identical.items()
+    )
+    return table + f"\nedge:4 trace == flat mean: {edge_line}"
+
+
 def _tables(suite, worker_grid, codec="identity", transport="auto",
             faults=None, deadline=None, compute="auto", aggregator="mean",
             extra_tables=True) -> str:
@@ -746,6 +884,7 @@ def _tables(suite, worker_grid, codec="identity", transport="auto",
         parts.append(_run_faults_table(suite, worker_grid))
         parts.append(_run_compute(worker_grid))
         parts.append(_run_robust(suite))
+        parts.append(_run_scale())
     return "\n\n".join(parts)
 
 

@@ -68,15 +68,31 @@ def _run(suite) -> str:
 
 
 def _naive_average(states, weights):
-    """The pre-optimization implementation: ``sum()`` over one fresh
-    ``w * state[key]`` temporary per (key, client).  Kept here as the
-    micro-benchmark baseline for :func:`average_states`."""
-    normalized = np.asarray(weights, dtype=np.float64)
-    normalized = normalized / normalized.sum()
-    return {
-        key: sum(w * state[key] for w, state in zip(normalized, states))
-        for key in states[0]
-    }
+    """An unvectorized reimplementation of the canonical reduction
+    (compensated double-double folds — see
+    :class:`repro.nn.serialize.MeanAccumulator` — with one fresh temporary
+    per fold).  Kept as the micro-benchmark baseline for
+    :func:`average_states`, and it must stay *bit-identical* so the
+    table's last column keeps meaning something."""
+    w_hi, w_lo = 0.0, 0.0
+    for w in weights:
+        s = w_hi + float(w)
+        bb = s - w_hi
+        w_lo += (w_hi - (s - bb)) + (float(w) - bb)
+        w_hi = s
+    total = w_hi + w_lo
+    out = {}
+    for key in states[0]:
+        hi = np.zeros_like(states[0][key], dtype=np.float64)
+        lo = np.zeros_like(hi)
+        for w, state in zip(weights, states):
+            value = np.multiply(state[key], float(w), dtype=np.float64)
+            s = hi + value
+            bb = s - hi
+            lo = lo + ((hi - (s - bb)) + (value - bb))
+            hi = s
+        out[key] = (hi + lo) / total
+    return out
 
 
 def _aggregation_microbench(num_states: int = 16, repeats: int = 30) -> str:
@@ -105,9 +121,12 @@ def _aggregation_microbench(num_states: int = 16, repeats: int = 30) -> str:
         for key in naive_result
     )
     rows = [
-        ["sum() over temporaries", f"{naive_seconds * 1000:.2f}", "-", "-"],
         [
-            "in-place (np.multiply/add, out=)",
+            "per-fold temporaries (dd reference)",
+            f"{naive_seconds * 1000:.2f}", "-", "-",
+        ],
+        [
+            "in-place (MeanAccumulator)",
             f"{inplace_seconds * 1000:.2f}",
             f"{naive_seconds / inplace_seconds:.2f}x",
             "yes" if identical else "NO",

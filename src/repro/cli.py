@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import tracemalloc
 from typing import Callable, Sequence
 
 from repro.baselines import (
@@ -44,6 +45,7 @@ from repro.fl.codec import codec_specs, make_codec
 from repro.fl.compute import compute_specs
 from repro.fl.executor import EXECUTOR_KINDS
 from repro.fl.faults import make_deadline_policy, make_fault_plan
+from repro.fl.server import parse_topology
 from repro.fl.transport import transport_specs
 from repro.fl.strategy import Strategy
 from repro.utils.tables import format_percent, format_table
@@ -85,6 +87,8 @@ def _setting_from_args(args: argparse.Namespace) -> ExperimentSetting:
         compute=args.compute,
         aggregator=args.aggregator,
         quorum=args.quorum,
+        topology=args.topology,
+        max_resident=args.max_resident,
     )
 
 
@@ -155,6 +159,16 @@ def _aggregator_spec(value: str) -> str:
     ``clip(5)+krum``) at parse time so a typo is a usage error."""
     try:
         make_aggregator(value)
+    except (TypeError, ValueError) as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return value
+
+
+def _topology_spec(value: str) -> str:
+    """Validate an aggregation-topology spec (``flat`` or ``edge:G``) at
+    parse time so a typo is a usage error."""
+    try:
+        parse_topology(value)
     except (TypeError, ValueError) as exc:
         raise argparse.ArgumentTypeError(str(exc))
     return value
@@ -250,8 +264,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "set is recorded for exact replay",
     )
     parser.add_argument(
+        "--topology", type=_topology_spec, default="flat",
+        help="aggregation topology: 'flat' (default) reduces every upload "
+        "at the root, 'edge:G' fans the round over G edge aggregators "
+        "whose partial sums the root composes — bit-identical to flat, "
+        "and requires a streaming-capable rule (mean, clip(tau)+mean)",
+    )
+    parser.add_argument(
+        "--max-resident", type=_positive_int, default=None,
+        help="bound the parallel engine's resident-client LRU (server-side "
+        "copies + upload reference chains) to this many clients; evicted "
+        "clients re-register with a full frame when re-sampled; implies "
+        "the parallel engine under --executor auto",
+    )
+    parser.add_argument(
         "--timing", action="store_true",
-        help="also print the phase-timing and measured-wire-traffic report",
+        help="also print the phase-timing and measured-wire-traffic report "
+        "(starts tracemalloc, so the peak-memory column is populated)",
     )
 
 
@@ -271,6 +300,7 @@ _TIMING_HEADER = [
     "rebuilt",
     "rejected",
     "early close (s)",
+    "peak mem (MiB)",
 ]
 
 
@@ -284,8 +314,9 @@ def _timing_row(name: str, timing) -> list[str]:
     aggregated update, injected straggler slowdown absorbed, and worker
     slots rebuilt after crashes; "rejected"/"early close (s)" are the
     robustness counters — uploads the aggregation rule excluded and
-    wall-clock saved by quorum early-closes (see
-    repro.fl.timing.TimingReport).
+    wall-clock saved by quorum early-closes; "peak mem (MiB)" is the
+    tracemalloc peak the server sampled at round boundaries — 0.0 when
+    tracing was off (see repro.fl.timing.TimingReport).
     """
     return [
         name,
@@ -303,6 +334,7 @@ def _timing_row(name: str, timing) -> list[str]:
         str(timing.rebuilt_workers),
         str(timing.rejected_uploads),
         f"{timing.early_close_seconds:.2f}",
+        f"{timing.peak_memory_bytes / (1024 * 1024):.1f}",
     ]
 
 
@@ -396,7 +428,25 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "workers", None) is not None and args.executor == "serial":
         parser.error("--workers only applies with --executor parallel (or auto)")
-    return args.func(args)
+    if (
+        getattr(args, "max_resident", None) is not None
+        and args.executor == "serial"
+    ):
+        parser.error(
+            "--max-resident only applies with --executor parallel (or auto)"
+        )
+    started_tracing = False
+    if getattr(args, "timing", False) and not tracemalloc.is_tracing():
+        # The server samples tracemalloc peaks at round boundaries only
+        # while tracing is active; --timing opts in so the peak-memory
+        # column reports real numbers without taxing untimed runs.
+        tracemalloc.start()
+        started_tracing = True
+    try:
+        return args.func(args)
+    finally:
+        if started_tracing:
+            tracemalloc.stop()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -60,6 +60,11 @@ class ExperimentSetting:
     groups; ``"auto"`` resolves to the batched ``ensemble`` backend
     whenever the model supports it — a pure throughput knob, since
     per-client numerics are bitwise backend-invariant.
+    ``topology`` selects the aggregation tree (``"flat"`` or
+    ``"edge:G"`` — G edge aggregators reduce the round with the streaming
+    mean, bit-identical to flat), and ``max_resident`` bounds the
+    parallel engine's resident-client LRU — the scaling knobs for large
+    lazy populations.
     """
 
     num_clients: int = 20
@@ -79,6 +84,8 @@ class ExperimentSetting:
     compute: str = "auto"
     aggregator: str = "mean"
     quorum: int | None = None
+    topology: str = "flat"
+    max_resident: int | None = None
 
     def round_participants(self) -> int:
         """This setting's resolved per-round participant count."""
@@ -105,6 +112,7 @@ class ExperimentSetting:
             deadline=self.deadline,
             compute=self.compute,
             quorum=self.quorum,
+            max_resident=self.max_resident,
         )
 
     def model_factory(self, suite: DomainSuite) -> ModelFactory:
@@ -193,6 +201,7 @@ def run_split_experiment(
             compute=setting.compute,
             aggregator=setting.aggregator,
             quorum=setting.quorum,
+            topology=setting.topology,
         ),
         executor=executor,
     )

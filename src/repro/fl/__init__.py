@@ -6,7 +6,9 @@ methods plug in through :class:`repro.fl.Strategy`.
 """
 
 from repro.fl.aggregate import (
+    AggregationStream,
     Aggregator,
+    EdgeAggregator,
     KrumAggregator,
     MeanAggregator,
     MedianAggregator,
@@ -52,9 +54,21 @@ from repro.fl.faults import (
     make_fault_plan,
 )
 from repro.fl.history import RoundRecord, RunHistory
+from repro.fl.population import (
+    ClientFactory,
+    ClientPopulation,
+    LazyPopulation,
+    ListPopulation,
+    as_population,
+)
 from repro.fl.sampling import UniformClientSampler
 from repro.fl.secure import SecureAggregator, masked_upload
-from repro.fl.server import FederatedConfig, FederatedResult, FederatedServer
+from repro.fl.server import (
+    FederatedConfig,
+    FederatedResult,
+    FederatedServer,
+    parse_topology,
+)
 from repro.fl.strategy import LocalTrainingConfig, Strategy, run_ce_epochs
 from repro.fl.timing import PhaseTimer, TimingReport
 from repro.fl.transport import (
@@ -68,7 +82,9 @@ from repro.fl.transport import (
 )
 
 __all__ = [
+    "AggregationStream",
     "Aggregator",
+    "EdgeAggregator",
     "KrumAggregator",
     "MeanAggregator",
     "MedianAggregator",
@@ -112,12 +128,18 @@ __all__ = [
     "make_fault_plan",
     "RoundRecord",
     "RunHistory",
+    "ClientFactory",
+    "ClientPopulation",
+    "LazyPopulation",
+    "ListPopulation",
+    "as_population",
     "UniformClientSampler",
     "SecureAggregator",
     "masked_upload",
     "FederatedConfig",
     "FederatedResult",
     "FederatedServer",
+    "parse_topology",
     "LocalTrainingConfig",
     "Strategy",
     "run_ce_epochs",

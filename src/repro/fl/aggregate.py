@@ -38,16 +38,39 @@ Rules
     upload's *update* (its delta from the broadcast state) to L2 norm
     ``tau`` before handing the uploads to the wrapped rule.  Bounds any
     single upload's pull even under ``mean``.
+``edge(G)+<rule>``
+    Two-tier hierarchical topology (``--topology edge:G``): ``G`` edge
+    aggregators each reduce their group of uploads with the wrapped
+    rule's *streaming* form, and the root composes the partial
+    (sum, weight) pairs.  Weighted means compose exactly across tiers,
+    so the result is bit-identical to the flat rule; the wrapped rule
+    must be streaming-capable (``mean``, optionally behind ``clip``).
+
+Streaming
+---------
+Rules that are online-reducible set :attr:`Aggregator.streaming` and
+implement :meth:`Aggregator.begin_stream`, which returns an
+:class:`AggregationStream`: the engine folds each upload in as it
+arrives (``fold(state, weight, position)``) and frees it, and the server
+finalizes — constant memory in the number of participants, and
+aggregation work overlapped with upload collection.  ``mean`` (and
+``clip(tau)+mean``, and ``edge(G)+...``) stream; ``median`` /
+``trimmed_mean`` / ``krum`` are order statistics over the full upload
+set and explicitly declare themselves non-streaming — they fall back to
+the batch path that materializes the survivor list.
 
 Determinism contract
 --------------------
 Aggregation sits on the determinism-critical path (the cross-engine trace
 tests compare it bit-for-bit), so every rule is a pure function of the
-upload *list* — no RNG, no wall clock — and ``mean`` reproduces the
-historical ``average_states`` reduction order exactly.  Rules are *not*
-bit-permutation-invariant (floating-point addition is not associative),
-but they are value-permutation-invariant up to that roundoff, which the
-hypothesis tests pin down.
+upload *multiset* — no RNG, no wall clock.  ``mean`` is defined as the
+compensated (double-double) weighted reduction of
+:class:`repro.nn.serialize.MeanAccumulator`, which is fold-order- and
+grouping-invariant to ~106 bits: batch, streaming-in-arrival-order, and
+two-tier ``edge`` reductions all produce the same float64 bits, which is
+what lets the parallel engine fold uploads in nondeterministic arrival
+order without breaking trace identity.  The hypothesis tests pin the
+permutation/grouping invariance down.
 
 Selection rules publish which uploads they excluded in
 :attr:`Aggregator.last_rejected` (indices into the round's update list);
@@ -62,23 +85,132 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.nn.serialize import StateDict, average_states, flatten_state
+from repro.nn.serialize import (
+    MeanAccumulator,
+    StateDict,
+    average_states,
+    flatten_state,
+)
 
 __all__ = [
     "AGGREGATOR_KINDS",
+    "AggregationStream",
     "Aggregator",
     "MeanAggregator",
     "MedianAggregator",
     "TrimmedMeanAggregator",
     "KrumAggregator",
     "ClipAggregator",
+    "EdgeAggregator",
     "aggregator_specs",
     "make_aggregator",
     "register_aggregator",
 ]
 
-#: Registered base rules (the ``clip(tau)+`` prefix composes with any).
+#: Registered base rules (the ``clip(tau)+`` prefix composes with any;
+#: ``edge(G)+`` composes with streaming-capable ones).
 AGGREGATOR_KINDS = ("mean", "median", "trimmed_mean", "krum", "multi-krum")
+
+
+class AggregationStream:
+    """One in-flight streaming reduction.
+
+    Created by :meth:`Aggregator.begin_stream`; the execution engine calls
+    :meth:`fold` once per accepted upload — *in arrival order*, then frees
+    the upload's state — and the server calls :meth:`finalize` once.
+    ``position`` is the upload's stable index in the round's sampling
+    order (what routes it to an edge group); arrival order itself carries
+    no meaning, by the order-invariance contract of the underlying
+    compensated reduction.
+    """
+
+    #: Number of uploads folded in so far.
+    count = 0
+
+    def fold(self, state: StateDict, weight: float, position: int = 0) -> None:
+        raise NotImplementedError
+
+    def finalize(self) -> StateDict:
+        """The aggregate of everything folded; raises if nothing was."""
+        raise NotImplementedError
+
+
+class _MeanStream(AggregationStream):
+    """Streaming form of ``mean``: one compensated accumulator."""
+
+    def __init__(self, aggregator: "Aggregator") -> None:
+        self._aggregator = aggregator
+        self.partial = MeanAccumulator()
+
+    @property
+    def count(self) -> int:  # type: ignore[override]
+        return self.partial.count
+
+    def fold(self, state: StateDict, weight: float, position: int = 0) -> None:
+        self.partial.fold(state, weight)
+
+    def finalize(self) -> StateDict:
+        self._aggregator.last_rejected = ()
+        return self.partial.finalize()
+
+
+class _ClipStream(AggregationStream):
+    """Streaming form of ``clip(tau)+<inner>``: clip each upload against
+    the broadcast ``ref`` as it arrives, then fold into the inner stream."""
+
+    def __init__(self, aggregator: "ClipAggregator", ref: StateDict | None) -> None:
+        self._aggregator = aggregator
+        self._ref = ref
+        self._clipped = 0
+        self._inner = aggregator.inner.begin_stream(ref)
+
+    @property
+    def count(self) -> int:  # type: ignore[override]
+        return self._inner.count
+
+    @property
+    def partial(self) -> MeanAccumulator:
+        return self._inner.partial  # type: ignore[attr-defined]
+
+    def fold(self, state: StateDict, weight: float, position: int = 0) -> None:
+        shrunk, was_clipped = self._aggregator.clip_one(state, self._ref)
+        self._clipped += was_clipped
+        self._inner.fold(shrunk, weight, position)
+
+    def finalize(self) -> StateDict:
+        result = self._inner.finalize()
+        self._aggregator.last_clipped = self._clipped
+        self._aggregator.last_rejected = ()
+        return result
+
+
+class _EdgeStream(AggregationStream):
+    """Streaming form of ``edge(G)+<inner>``: ``G`` independent inner
+    streams (one per edge aggregator), composed exactly at the root."""
+
+    def __init__(self, aggregator: "EdgeAggregator", ref: StateDict | None) -> None:
+        self._aggregator = aggregator
+        self._groups = [
+            aggregator.inner.begin_stream(ref) for _ in range(aggregator.groups)
+        ]
+
+    @property
+    def count(self) -> int:  # type: ignore[override]
+        return sum(stream.count for stream in self._groups)
+
+    def fold(self, state: StateDict, weight: float, position: int = 0) -> None:
+        self._groups[position % len(self._groups)].fold(state, weight, position)
+
+    def finalize(self) -> StateDict:
+        root = MeanAccumulator()
+        clipped = 0
+        for stream in self._groups:
+            if stream.count:
+                root.merge(stream.partial)
+                clipped += getattr(stream, "_clipped", 0)
+        self._aggregator.last_clipped = clipped
+        self._aggregator.last_rejected = ()
+        return root.finalize()
 
 
 class Aggregator:
@@ -98,6 +230,10 @@ class Aggregator:
     name = "aggregator"
     #: Whether the rule survives adversarial uploads (breakdown point > 0).
     robust = False
+    #: Whether the rule is online-reducible (supports :meth:`begin_stream`).
+    #: Order statistics (median, trimmed mean, krum) need the full upload
+    #: set and stay ``False`` — they fall back to the batch path.
+    streaming = False
 
     def __init__(self) -> None:
         #: Indices (into the last call's upload list) excluded outright.
@@ -118,6 +254,16 @@ class Aggregator:
     ) -> StateDict:
         raise NotImplementedError
 
+    def begin_stream(self, ref: StateDict | None = None) -> AggregationStream:
+        """Open a streaming reduction (only when :attr:`streaming`).
+
+        ``ref`` is the broadcast state the round trained from, for rules
+        that measure uploads against it (``clip``).
+        """
+        raise NotImplementedError(
+            f"aggregator {self.spec!r} is not streaming-capable"
+        )
+
     def reduce_vectors(self, matrix: np.ndarray) -> np.ndarray:
         """Robustly fuse row vectors (strategy side channels, e.g. FPL's
         per-class prototypes): the plain mean for the historical rule, the
@@ -137,10 +283,12 @@ class Aggregator:
 
 
 class MeanAggregator(Aggregator):
-    """Weighted FedAvg — the historical path, bit-identical to
-    :func:`repro.nn.serialize.average_states` (paper §III-B)."""
+    """Weighted FedAvg — bit-identical to
+    :func:`repro.nn.serialize.average_states` (paper §III-B), and the
+    only base rule that streams."""
 
     name = "mean"
+    streaming = True
 
     def aggregate(
         self,
@@ -150,6 +298,9 @@ class MeanAggregator(Aggregator):
     ) -> StateDict:
         self.last_rejected = ()
         return average_states(states, weights)
+
+    def begin_stream(self, ref: StateDict | None = None) -> AggregationStream:
+        return _MeanStream(self)
 
 
 class MedianAggregator(Aggregator):
@@ -324,8 +475,37 @@ class ClipAggregator(Aggregator):
     def spec(self) -> str:
         return f"clip({self.tau:g})+{self.inner.spec}"
 
+    @property
+    def streaming(self) -> bool:  # type: ignore[override]
+        return self.inner.streaming
+
     def reduce_vectors(self, matrix: np.ndarray) -> np.ndarray:
         return self.inner.reduce_vectors(matrix)
+
+    def clip_one(self, state: StateDict, ref: StateDict | None) -> tuple[StateDict, bool]:
+        """One upload clipped against ``ref``; True when it shrank."""
+        norm = _state_norm(state, ref)
+        if norm <= self.tau:
+            return state, False
+        scale = self.tau / norm
+        shrunk: StateDict = {}
+        for key, value in state.items():
+            value = np.asarray(value)
+            if not np.issubdtype(value.dtype, np.floating):
+                shrunk[key] = value
+            elif ref is None:
+                shrunk[key] = (value * scale).astype(value.dtype, copy=False)
+            else:
+                base = np.asarray(ref[key])
+                shrunk[key] = (base + scale * (value - base)).astype(
+                    value.dtype, copy=False
+                )
+        return shrunk, True
+
+    def begin_stream(self, ref: StateDict | None = None) -> AggregationStream:
+        if not self.streaming:
+            return super().begin_stream(ref)
+        return _ClipStream(self, ref)
 
     def aggregate(
         self,
@@ -336,29 +516,68 @@ class ClipAggregator(Aggregator):
         clipped_states: list[StateDict] = []
         clipped = 0
         for state in states:
-            norm = _state_norm(state, ref)
-            if norm <= self.tau:
-                clipped_states.append(state)
-                continue
-            clipped += 1
-            scale = self.tau / norm
-            shrunk: StateDict = {}
-            for key, value in state.items():
-                value = np.asarray(value)
-                if not np.issubdtype(value.dtype, np.floating):
-                    shrunk[key] = value
-                elif ref is None:
-                    shrunk[key] = (value * scale).astype(value.dtype, copy=False)
-                else:
-                    base = np.asarray(ref[key])
-                    shrunk[key] = (base + scale * (value - base)).astype(
-                        value.dtype, copy=False
-                    )
+            shrunk, was_clipped = self.clip_one(state, ref)
+            clipped += was_clipped
             clipped_states.append(shrunk)
         result = self.inner.aggregate(clipped_states, weights, ref)
         self.last_clipped = clipped
         self.last_rejected = self.inner.last_rejected
         return result
+
+
+class EdgeAggregator(Aggregator):
+    """Two-tier hierarchical topology (``edge(G)+<rule>``,
+    ``--topology edge:G``).
+
+    ``G`` edge aggregators each reduce their group of uploads (group =
+    sampling position mod ``G``) with the wrapped rule's streaming form;
+    the root composes the groups' partial (compensated sum, weight)
+    pairs and divides once.  Weighted means compose exactly across
+    tiers, so the result is bit-identical to the flat rule — trace
+    tests pin this across engines and transports.  The wrapped rule
+    must be streaming-capable; order statistics have no exact
+    hierarchical decomposition and are rejected at construction.
+    """
+
+    def __init__(self, groups: int, inner: Aggregator) -> None:
+        super().__init__()
+        if groups < 1:
+            raise ValueError(f"edge group count must be >= 1, got {groups}")
+        if not inner.streaming:
+            raise ValueError(
+                f"edge topology requires a streaming-capable rule; "
+                f"{inner.spec!r} is an order statistic and cannot be "
+                f"reduced hierarchically without changing its result"
+            )
+        self.groups = int(groups)
+        self.inner = inner
+        self.robust = inner.robust
+
+    name = "edge"
+    streaming = True
+
+    @property
+    def spec(self) -> str:
+        return f"edge({self.groups})+{self.inner.spec}"
+
+    def reduce_vectors(self, matrix: np.ndarray) -> np.ndarray:
+        return self.inner.reduce_vectors(matrix)
+
+    def begin_stream(self, ref: StateDict | None = None) -> AggregationStream:
+        return _EdgeStream(self, ref)
+
+    def aggregate(
+        self,
+        states: Sequence[StateDict],
+        weights: Sequence[float],
+        ref: StateDict | None = None,
+    ) -> StateDict:
+        if not states:
+            raise ValueError("need at least one state to aggregate")
+        stream = self.begin_stream(ref)
+        for position, (state, weight) in enumerate(zip(states, weights)):
+            stream.fold(state, weight, position)
+        return stream.finalize()
 
 
 # -- registry -----------------------------------------------------------------
@@ -401,7 +620,8 @@ def make_aggregator(spec: "str | Aggregator | None") -> Aggregator:
     ``None`` means the default (``mean``); already-built aggregators pass
     through unchanged — the same convention as
     :func:`repro.fl.codec.make_codec`.  Specs compose with ``+`` where the
-    left side is a ``clip(tau)`` prefix: ``clip(2.5)+median``.
+    left side is a ``clip(tau)`` or ``edge(G)`` prefix:
+    ``clip(2.5)+median``, ``edge(4)+mean``, ``edge(4)+clip(2.5)+mean``.
     """
     if spec is None:
         return MeanAggregator()
@@ -426,23 +646,37 @@ def make_aggregator(spec: "str | Aggregator | None") -> Aggregator:
         ) from exc
     for part in reversed(parts[:-1]):
         prefix, prefix_args = _build_one(part, spec)
-        if prefix != "clip":
+        if prefix == "clip":
+            if len(prefix_args) != 1:
+                raise ValueError(
+                    f"clip takes exactly one argument (tau), got {part!r} in "
+                    f"{spec!r}"
+                )
+            try:
+                tau = float(prefix_args[0])
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad clip tau {prefix_args[0]!r} in {spec!r}"
+                ) from exc
+            aggregator = ClipAggregator(tau, aggregator)
+        elif prefix == "edge":
+            if len(prefix_args) != 1:
+                raise ValueError(
+                    f"edge takes exactly one argument (the group count), "
+                    f"got {part!r} in {spec!r}"
+                )
+            try:
+                groups = int(prefix_args[0])
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad edge group count {prefix_args[0]!r} in {spec!r}"
+                ) from exc
+            aggregator = EdgeAggregator(groups, aggregator)
+        else:
             raise ValueError(
-                f"only 'clip(tau)' may prefix an aggregator, got {part!r} "
-                f"in {spec!r}"
+                f"only 'clip(tau)' or 'edge(G)' may prefix an aggregator, "
+                f"got {part!r} in {spec!r}"
             )
-        if len(prefix_args) != 1:
-            raise ValueError(
-                f"clip takes exactly one argument (tau), got {part!r} in "
-                f"{spec!r}"
-            )
-        try:
-            tau = float(prefix_args[0])
-        except ValueError as exc:
-            raise ValueError(
-                f"bad clip tau {prefix_args[0]!r} in {spec!r}"
-            ) from exc
-        aggregator = ClipAggregator(tau, aggregator)
     return aggregator
 
 

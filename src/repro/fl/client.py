@@ -181,6 +181,19 @@ class Client:
     def num_samples(self) -> int:
         return len(self.dataset)
 
+    def nbytes(self) -> int:
+        """Approximate resident bytes of this client's arrays (dataset
+        tensors plus ndarray-valued scratch entries) — what one entry in
+        the engine's bounded resident set costs the server."""
+        total = 0
+        for value in vars(self.dataset).values():
+            if isinstance(value, np.ndarray):
+                total += value.nbytes
+        for value in self.scratch.values():
+            if isinstance(value, np.ndarray):
+                total += value.nbytes
+        return total
+
     def domains_present(self) -> np.ndarray:
         """The distinct source-domain ids in this client's data."""
         return np.unique(self.dataset.domain_ids)

@@ -134,6 +134,7 @@ from repro.fl.transport import Transport, make_transport, resolve_transport
 from repro.nn.serialize import StateDict, decode_payload, encode_payload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.fl.aggregate import AggregationStream
     from repro.fl.strategy import Strategy
     from repro.nn.models import FeatureClassifierModel
 
@@ -479,7 +480,16 @@ class Executor:
         participants: Sequence[Client],
         round_index: int,
         seeds: Sequence[int],
+        stream: "AggregationStream | None" = None,
     ) -> list[ClientUpdate]:
+        """Run one round's local updates; with ``stream`` the engine folds
+        each *accepted* upload into the online aggregation accumulator as
+        membership resolves and frees its ``state`` — the returned updates
+        then carry ``state=None`` and the caller finalizes the stream
+        instead of re-reducing the batch.  ``stream.count`` always equals
+        the number of returned updates, which is how
+        :meth:`repro.fl.strategy.Strategy.aggregate` cross-checks that the
+        engine and the stream saw the same round."""
         raise NotImplementedError
 
     def _compute_backend(self, model: "FeatureClassifierModel") -> ComputeBackend:
@@ -542,6 +552,7 @@ class SerialExecutor(Executor):
         participants: Sequence[Client],
         round_index: int,
         seeds: Sequence[int],
+        stream: "AggregationStream | None" = None,
     ) -> list[ClientUpdate]:
         round_start = time.perf_counter()
         round_deadline = self._current_deadline()
@@ -657,6 +668,14 @@ class SerialExecutor(Executor):
             for update in updates[self.quorum :]:
                 report.dropped[update.client_id] = "quorum"
             updates = updates[: self.quorum]
+        if stream is not None:
+            # Membership is final past the quorum cut: fold the accepted
+            # uploads into the online accumulator in sampling order and
+            # free each state — the server's aggregation memory is the
+            # accumulator, not the round's update set.
+            for position, update in enumerate(updates):
+                stream.fold(update.state, float(update.num_samples), position)
+                update.state = None
         self.last_fault_report = report
         self._observe_round_duration(time.perf_counter() - round_start)
         return updates
@@ -721,8 +740,20 @@ def _worker_init(
 
 
 def _worker_register(clients_blob: bytes) -> int:
-    """Make the shipped clients resident; replaces same-id residents."""
-    clients: list[Client] = decode_payload(clients_blob)
+    """Make the shipped clients resident; replaces same-id residents.
+
+    The blob also carries the ids the server's LRU evicted from this slot
+    since the last registration — piggybacked here so worker-side copies
+    (and their upload reference chains) are freed without a dedicated
+    message.  Either half may be empty: a pure-eviction flush ships no
+    clients, a pure registration no evictions.
+    """
+    clients: "list[Client]"
+    evict_ids: "tuple[int, ...]"
+    clients, evict_ids = decode_payload(clients_blob)
+    for client_id in evict_ids:
+        _WORKER_CLIENTS.pop(client_id, None)
+        _WORKER_UPLOAD_REFS.pop(client_id, None)
     for client in clients:
         client.scratch.mark_clean()  # registration is the sync point
         _WORKER_CLIENTS[client.client_id] = client
@@ -982,6 +1013,7 @@ class ParallelExecutor(Executor):
         deadline: "float | str | FixedDeadline | AdaptiveDeadline | None" = None,
         compute: str = "auto",
         quorum: int | None = None,
+        max_resident: int | None = None,
     ) -> None:
         super().__init__(
             codec=codec, faults=faults, deadline=deadline, compute=compute,
@@ -989,6 +1021,9 @@ class ParallelExecutor(Executor):
         )
         if num_workers is not None and num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if max_resident is not None and max_resident < 1:
+            raise ValueError(f"max_resident must be >= 1, got {max_resident}")
+        self.max_resident = max_resident
         self.num_workers = num_workers or _default_workers()
         self.start_method = start_method or _default_start_method()
         self.transport = make_transport(transport)
@@ -1021,8 +1056,14 @@ class ParallelExecutor(Executor):
         # client_id -> the exact server-side object resident on its home
         # worker.  Strong references on purpose: identity (``is``) decides
         # re-registration, and a dead object's id must not be recycled into
-        # a false "already resident".
+        # a false "already resident".  Insertion order doubles as LRU
+        # recency (dispatched residents are re-inserted each round), so a
+        # ``max_resident`` bound evicts the longest-unsampled clients.
         self._resident: dict[int, Client] = {}
+        # Eviction ids queued for each home worker, piggybacked on the next
+        # registration blob so the worker's own copies (and upload refs)
+        # are freed without a dedicated message.
+        self._pending_evictions: dict[int, list[int]] = {}
         # Server halves of the stateful-codec reference chains (see the
         # worker globals): worker slot -> last broadcast state, and
         # client_id -> last decoded upload.  Populated only when
@@ -1134,6 +1175,9 @@ class ParallelExecutor(Executor):
         ]:
             self._resident.pop(client_id)
         self._bcast_refs.pop(home, None)
+        # Queued evictions are moot: the worker-side copies they targeted
+        # died with the process.
+        self._pending_evictions.pop(home, None)
         return pool
 
     @staticmethod
@@ -1155,8 +1199,11 @@ class ParallelExecutor(Executor):
     ) -> Future:
         """Ship ``clients`` to their home slot in one registration blob and
         mirror the sync points server-side (scratch marked clean, upload
-        reference chains reset on both endpoints)."""
-        blob = encode_payload(clients)
+        reference chains reset on both endpoints).  Eviction ids queued
+        for this slot ride along in the same blob (see
+        :func:`_worker_register`)."""
+        evict_ids = tuple(self._pending_evictions.pop(home, ()))
+        blob = encode_payload((clients, evict_ids))
         self.wire.registration_bytes += len(blob)
         # Each client ships to exactly one home, so the blob is already
         # fan-out-free and counts unchanged toward the unique floor.
@@ -1176,11 +1223,17 @@ class ParallelExecutor(Executor):
         self, pools: list[_ProcessPool], participants: Sequence[Client]
     ) -> None:
         """Ship not-yet-resident participants to their home workers, grouped
-        so each worker receives at most one registration blob per round."""
+        so each worker receives at most one registration blob per round.
+
+        Homes with queued evictions but no newcomers get an empty
+        registration — the flush that actually frees the worker-side
+        copies — so LRU hygiene never waits on a resample."""
         newcomers: dict[int, list[Client]] = {}
         for client in participants:
             if self._resident.get(client.client_id) is not client:
                 newcomers.setdefault(self._home(client.client_id), []).append(client)
+        for home in self._pending_evictions:
+            newcomers.setdefault(home, [])
         futures = [
             self._register_clients(pools[home], home, clients)
             for home, clients in sorted(newcomers.items())
@@ -1196,6 +1249,7 @@ class ParallelExecutor(Executor):
         participants: Sequence[Client],
         round_index: int,
         seeds: Sequence[int],
+        stream: "AggregationStream | None" = None,
     ) -> list[ClientUpdate]:
         pools = self._ensure_pools(model)
         self._drain_zombies()
@@ -1245,6 +1299,12 @@ class ParallelExecutor(Executor):
             if self._slot_is_dead(pools[home]):
                 self._replace_slot(pools, home, report)
         self._register_new_participants(pools, dispatched)
+        # LRU recency: re-insert this round's participants so insertion
+        # order stays oldest-unsampled-first for the end-of-round eviction.
+        for client in dispatched:
+            resident = self._resident.pop(client.client_id, None)
+            if resident is not None:
+                self._resident[client.client_id] = resident
 
         # One broadcast per participating worker, not per task.  The state
         # is codec-encoded against each worker's reference chain; workers
@@ -1400,12 +1460,12 @@ class ParallelExecutor(Executor):
             if self.quorum is not None and replay is None:
                 self._collect_uploads_quorum(
                     pools, pending, updates, round_index, strategy_blob,
-                    global_state, deadline_at, injected, report,
+                    global_state, deadline_at, injected, report, stream,
                 )
             else:
                 self._collect_uploads(
                     pools, pending, updates, round_index, strategy_blob,
-                    global_state, deadline_at, injected, report,
+                    global_state, deadline_at, injected, report, stream,
                 )
         finally:
             # Unlink this round's segments even when dispatch, a worker, or
@@ -1443,8 +1503,30 @@ class ParallelExecutor(Executor):
         self.broadcast_decode_rounds.append(
             sum(update.decode_seconds for update in updates)
         )
+        self._evict_lru(participants)
         self._observe_round_duration(time.perf_counter() - round_start)
         return updates
+
+    def _evict_lru(self, participants: Sequence[Client]) -> None:
+        """Bound the resident set: evict the longest-unsampled clients
+        (never a current participant — mid-round recovery reads them)
+        down to ``max_resident``, dropping the server-side copy and
+        upload reference now and queueing the worker-side eviction for
+        the slot's next registration blob."""
+        if self.max_resident is None:
+            return
+        in_round = {client.client_id for client in participants}
+        excess = len(self._resident) - self.max_resident
+        if excess <= 0:
+            return
+        for client_id in [
+            cid for cid in self._resident if cid not in in_round
+        ][:excess]:
+            self._resident.pop(client_id)
+            self._upload_refs.pop(client_id, None)
+            self._pending_evictions.setdefault(
+                self._home(client_id), []
+            ).append(client_id)
 
     def _collect_uploads(
         self,
@@ -1457,6 +1539,7 @@ class ParallelExecutor(Executor):
         deadline_at: float | None,
         injected: "dict[int, FaultEvent]",
         report: RoundFaultReport,
+        stream: "AggregationStream | None" = None,
     ) -> None:
         """Drain the round's upload futures into ``updates`` in sampling
         order, decoding states and syncing scratch along the way.
@@ -1512,7 +1595,7 @@ class ParallelExecutor(Executor):
                 )
                 continue  # re-examine this row: re-submitted or sentinel
             self._ingest_row(
-                pending[index], wire, global_state, results, report
+                pending[index], wire, global_state, results, report, stream
             )
             index += 1
         updates.extend(update for _, update in sorted(results.items()))
@@ -1524,6 +1607,7 @@ class ParallelExecutor(Executor):
         global_state: StateDict,
         results: "dict[int, ClientUpdate]",
         report: RoundFaultReport,
+        stream: "AggregationStream | None" = None,
     ) -> int:
         """Decode one group row's upload into ``results`` (keyed by
         dispatch position), syncing scratch and running the acceptance
@@ -1579,6 +1663,15 @@ class ParallelExecutor(Executor):
                 continue
             results[position] = update
             accepted += 1
+            if stream is not None:
+                # Streaming aggregation overlaps collection: fold the
+                # accepted upload into the online accumulator the moment
+                # it passes the checks and free the decoded state — the
+                # server holds the accumulator plus at most the stateful
+                # codec's bounded reference chain, never the round's full
+                # update set.
+                stream.fold(update.state, float(update.num_samples), position)
+                update.state = None
         return accepted
 
     def _collect_uploads_quorum(
@@ -1592,6 +1685,7 @@ class ParallelExecutor(Executor):
         deadline_at: float | None,
         injected: "dict[int, FaultEvent]",
         report: RoundFaultReport,
+        stream: "AggregationStream | None" = None,
     ) -> None:
         """Arrival-order collection under a quorum: close the round at the
         first :attr:`quorum` *accepted* uploads instead of waiting for
@@ -1665,7 +1759,7 @@ class ParallelExecutor(Executor):
                     recovered = True
                     break  # futures were rewritten; re-enter the wait loop
                 accepted += self._ingest_row(
-                    row, wire, global_state, results, report
+                    row, wire, global_state, results, report, stream
                 )
                 remaining.remove(row)
             if recovered:
@@ -1845,6 +1939,7 @@ class ParallelExecutor(Executor):
             self._pool_compute = None  # re-negotiated at the next build
         self.transport.close()
         self._resident.clear()
+        self._pending_evictions.clear()  # worker copies died with the pools
         self._zombie_futures.clear()  # joined (or killed) above
         # Reference chains die with their endpoints: a rebuilt pool starts
         # from full frames on both sides.
@@ -1891,10 +1986,11 @@ def make_executor(
     deadline: "float | str | None" = None,
     compute: str = "auto",
     quorum: int | None = None,
+    max_resident: int | None = None,
 ) -> Executor:
     """Build an engine from the CLI/bench knobs (``--executor`` /
     ``--workers`` / ``--codec`` / ``--transport`` / ``--faults`` /
-    ``--deadline`` / ``--compute`` / ``--quorum``).
+    ``--deadline`` / ``--compute`` / ``--quorum`` / ``--max-resident``).
 
     ``kind="auto"`` picks the engine via :func:`resolve_executor` from the
     optional ``participants``/``local_epochs`` hints; an explicit
@@ -1908,13 +2004,18 @@ def make_executor(
     engine.  ``faults`` and ``deadline`` configure the fault-tolerance
     layer (:mod:`repro.fl.faults`) on whichever engine results — both
     engines honour them, so a chaos run is valid under ``auto``.
+    ``max_resident`` bounds the parallel engine's resident-client LRU
+    (server-side copies + upload reference chains); like ``workers``, an
+    explicit value under ``auto`` is read as intent for the parallel
+    engine, and it is rejected with ``kind="serial"`` (the serial engine
+    keeps no residents).
     """
     if isinstance(transport, str):
         resolve_transport(transport)  # reject typos for every engine kind
     if kind == "auto":
         kind = (
             "parallel"
-            if workers is not None
+            if workers is not None or max_resident is not None
             else resolve_executor(kind, participants, local_epochs)
         )
     if kind == "serial":
@@ -1922,6 +2023,11 @@ def make_executor(
             raise ValueError(
                 "workers only applies to the parallel executor; "
                 "pass kind='parallel' or drop the workers count"
+            )
+        if max_resident is not None:
+            raise ValueError(
+                "max_resident only applies to the parallel executor; "
+                "pass kind='parallel' or drop the residency bound"
             )
         return SerialExecutor(
             codec=codec, faults=faults, deadline=deadline, compute=compute,
@@ -1931,6 +2037,7 @@ def make_executor(
         return ParallelExecutor(
             num_workers=workers, codec=codec, transport=transport,
             faults=faults, deadline=deadline, compute=compute, quorum=quorum,
+            max_resident=max_resident,
         )
     raise ValueError(
         f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}"

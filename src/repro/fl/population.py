@@ -1,0 +1,131 @@
+"""Client populations: where a round's participants come from.
+
+The historical server held every :class:`repro.fl.client.Client` in a
+list — O(total population) memory before the first round runs, which is
+exactly what the "millions of users" north star breaks.  This module
+splits *who exists* from *who is resident*:
+
+:class:`ListPopulation`
+    Wraps an explicit client list.  Sampling is bit-identical to the
+    historical ``UniformClientSampler.sample`` path, so every existing
+    experiment and trace is unchanged.
+:class:`LazyPopulation`
+    A population defined by a size and a seeded factory.  Only the
+    sampled participants are constructed each round (Floyd's O(k)
+    id sampling — see ``UniformClientSampler.sample_ids``) and released
+    afterwards, so server memory scales with *participants per round*,
+    never with the population.  The factory must be deterministic per id
+    (same ``client_id`` → same client) and must produce non-empty
+    clients — the lazy path cannot pre-filter eligibility without
+    materializing everyone.
+
+Statefulness caveat: cross-round per-client state (``client.scratch``)
+survives only while the execution engine keeps the client in its bounded
+resident set.  When an LRU-evicted (or never-retained) lazy client is
+re-sampled, the factory rebuilds it pristine — the documented trade for
+constant server memory.  Methods that depend on scratch persistence
+(PARDON's style cache) should size ``max_resident`` to cover their
+working set, or use a :class:`ListPopulation`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.fl.client import Client
+from repro.fl.sampling import UniformClientSampler
+
+__all__ = [
+    "ClientFactory",
+    "ClientPopulation",
+    "ListPopulation",
+    "LazyPopulation",
+    "as_population",
+]
+
+#: Builds the client with the given id, deterministically.
+ClientFactory = Callable[[int], Client]
+
+
+class ClientPopulation:
+    """A universe of federated clients a sampler can draw from."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def sample(
+        self, sampler: UniformClientSampler, rng: np.random.Generator
+    ) -> list[Client]:
+        """Construct (or look up) this round's participants."""
+        raise NotImplementedError
+
+    def release(self, participants: list[Client]) -> None:
+        """Drop this population's own references to a finished round's
+        participants (lazy populations only — list populations own their
+        clients for the run's lifetime)."""
+
+
+class ListPopulation(ClientPopulation):
+    """The historical in-memory client list, O(population) resident."""
+
+    def __init__(self, clients: Sequence[Client]) -> None:
+        self.clients = list(clients)
+
+    def __len__(self) -> int:
+        return len(self.clients)
+
+    def sample(
+        self, sampler: UniformClientSampler, rng: np.random.Generator
+    ) -> list[Client]:
+        # Delegate to the sampler's historical list path (eligibility
+        # filter + rng.choice) so existing traces stay bit-identical.
+        return sampler.sample(self.clients, rng)
+
+
+class LazyPopulation(ClientPopulation):
+    """``size`` clients that exist only while sampled.
+
+    ``factory(client_id)`` is called once per sampled id per round; the
+    constructed participants are handed to the round and released after
+    it, so the server never holds more than O(participants) clients (plus
+    whatever bounded resident set the engine keeps for delta encoding and
+    crash recovery).
+    """
+
+    def __init__(self, size: int, factory: ClientFactory) -> None:
+        if size < 1:
+            raise ValueError(f"population size must be >= 1, got {size}")
+        self.size = int(size)
+        self.factory = factory
+
+    def __len__(self) -> int:
+        return self.size
+
+    def sample(
+        self, sampler: UniformClientSampler, rng: np.random.Generator
+    ) -> list[Client]:
+        participants = []
+        for client_id in sampler.sample_ids(self.size, rng):
+            client = self.factory(client_id)
+            if client.client_id != client_id:
+                raise ValueError(
+                    f"client factory returned id {client.client_id} for "
+                    f"requested id {client_id}"
+                )
+            if client.num_samples <= 0:
+                raise ValueError(
+                    f"client factory produced an empty client {client_id}; "
+                    f"lazy populations require every client to have data"
+                )
+            participants.append(client)
+        return participants
+
+
+def as_population(clients: "Sequence[Client] | ClientPopulation") -> ClientPopulation:
+    """Coerce the server's ``clients`` argument: explicit lists wrap into
+    a :class:`ListPopulation`, populations pass through."""
+    if isinstance(clients, ClientPopulation):
+        return clients
+    return ListPopulation(clients)

@@ -66,3 +66,23 @@ class UniformClientSampler:
         k = self.round_size(len(eligible))
         chosen = rng.choice(len(eligible), size=k, replace=False)
         return [eligible[int(i)] for i in chosen]
+
+    def sample_ids(self, num_clients: int, rng: np.random.Generator) -> list[int]:
+        """Select a round's participant *ids* from ``range(num_clients)``
+        without materializing the population.
+
+        Floyd's sampling algorithm: ``k`` distinct ids in O(k) time and
+        memory however large ``num_clients`` is — the lazy-population
+        path (:class:`repro.fl.population.LazyPopulation`) uses this so a
+        100k-client round touches only the sampled participants.  Ids are
+        returned sorted, so the round's participant order is a pure
+        function of the draw (not of set-insertion order).
+        """
+        if num_clients < 1:
+            raise ValueError("no client has any data")
+        k = self.round_size(num_clients)
+        chosen: set[int] = set()
+        for j in range(num_clients - k, num_clients):
+            t = int(rng.integers(0, j + 1))
+            chosen.add(j if t in chosen else t)
+        return sorted(chosen)

@@ -14,12 +14,13 @@ regardless of the engine.
 from __future__ import annotations
 
 import time
+import tracemalloc
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.data.synthetic import LabeledDataset
-from repro.fl.aggregate import make_aggregator
+from repro.fl.aggregate import EdgeAggregator, make_aggregator
 from repro.fl.evaluation import evaluate_accuracy
 from repro.fl.client import Client
 from repro.fl.codec import make_codec
@@ -27,6 +28,7 @@ from repro.fl.compute import resolve_compute
 from repro.fl.executor import Executor, SerialExecutor
 from repro.fl.faults import make_deadline_policy, make_fault_plan
 from repro.fl.history import RoundRecord, RunHistory
+from repro.fl.population import ClientPopulation, ListPopulation, as_population
 from repro.fl.sampling import UniformClientSampler
 from repro.fl.strategy import Strategy
 from repro.fl.timing import PhaseTimer, TimingReport
@@ -35,9 +37,43 @@ from repro.nn.models import FeatureClassifierModel
 from repro.utils.logging import get_logger, kv
 from repro.utils.rng import SeedTree
 
-__all__ = ["FederatedConfig", "FederatedServer", "FederatedResult"]
+__all__ = [
+    "FederatedConfig",
+    "FederatedServer",
+    "FederatedResult",
+    "parse_topology",
+]
 
 _LOG = get_logger("fl.server")
+
+
+def parse_topology(topology: str) -> int | None:
+    """Validate an aggregation-topology spec.
+
+    ``"flat"`` (the historical single-tier reduction) returns ``None``;
+    ``"edge:G"`` returns the edge-aggregator group count ``G >= 1``.
+    Anything else raises ``ValueError`` — shared by config validation and
+    the CLI's parse-time check.
+    """
+    if not isinstance(topology, str):
+        raise TypeError(f"topology must be a string, got {topology!r}")
+    if topology == "flat":
+        return None
+    if topology.startswith("edge:"):
+        try:
+            groups = int(topology[len("edge:"):])
+        except ValueError as exc:
+            raise ValueError(
+                f"bad edge group count in topology {topology!r}"
+            ) from exc
+        if groups < 1:
+            raise ValueError(
+                f"edge group count must be >= 1, got {topology!r}"
+            )
+        return groups
+    raise ValueError(
+        f"unknown topology {topology!r}; expected 'flat' or 'edge:G'"
+    )
 
 
 @dataclass(frozen=True)
@@ -101,6 +137,7 @@ class FederatedConfig:
     compute: str = "auto"
     aggregator: str = "mean"
     quorum: int | None = None
+    topology: str = "flat"
 
     def __post_init__(self) -> None:
         if self.num_rounds < 1:
@@ -114,10 +151,29 @@ class FederatedConfig:
             raise ValueError(f"quorum must be >= 1, got {self.quorum}")
         # Aggregation-rule spec: fail at config time, not mid-run.
         make_aggregator(self.aggregator)
+        # ...and the topology spec, plus its compatibility with the rule —
+        # an edge topology needs a streaming-capable rule, and finding
+        # that out mid-run would waste the whole run.
+        groups = parse_topology(self.topology)
+        if groups is not None:
+            EdgeAggregator(groups, make_aggregator(self.aggregator))
         # Participation validation lives with the sampler (the single source
         # of truth for the count-vs-fraction convention); constructing one
         # surfaces bad values at config time with the sampler's own errors.
+        # An integer ``clients_per_round`` is an absolute participant count
+        # however large the population is (it never re-enters the
+        # float-fraction path), so a quorum above it can *never* be met —
+        # reject it here, not mid-round.
         UniformClientSampler(self.clients_per_round)
+        if (
+            self.quorum is not None
+            and not isinstance(self.clients_per_round, (float, np.floating))
+            and self.quorum > int(self.clients_per_round)
+        ):
+            raise ValueError(
+                f"quorum {self.quorum} exceeds clients_per_round "
+                f"{int(self.clients_per_round)}; no round could ever close"
+            )
         # Same pattern for the codec spec: fail at config time, not mid-run.
         make_codec(self.codec)
         # ...and the transport spec ("auto" resolves per platform)...
@@ -171,16 +227,28 @@ class FederatedServer:
     def __init__(
         self,
         strategy: Strategy,
-        clients: list[Client],
+        clients: "list[Client] | ClientPopulation",
         model: FeatureClassifierModel,
         eval_sets: dict[str, LabeledDataset],
         config: FederatedConfig,
         executor: Executor | None = None,
     ) -> None:
-        if not clients:
+        # ``clients`` may be the historical explicit list or any
+        # ClientPopulation — a LazyPopulation keeps the server's footprint
+        # at O(participants) however large the simulated population is.
+        self.population = as_population(clients)
+        if len(self.population) == 0:
             raise ValueError("need at least one client")
         self.strategy = strategy
-        self.clients = clients
+        #: Materialized client list for strategy.prepare and legacy
+        #: callers; empty for lazy populations (whose whole point is never
+        #: materializing — strategies with a population-wide prepare step
+        #: need a ListPopulation).
+        self.clients = (
+            self.population.clients
+            if isinstance(self.population, ListPopulation)
+            else []
+        )
         self.model = model
         self.eval_sets = eval_sets
         self.config = config
@@ -250,7 +318,31 @@ class FederatedServer:
                     f"{self.strategy.aggregator.spec!r} but the config asks "
                     f"for {config.aggregator!r}; drop one of the two"
                 )
+        # A two-tier topology wraps whatever rule ended up installed in an
+        # EdgeAggregator (construction re-checks that the rule streams).
+        groups = parse_topology(config.topology)
+        if groups is not None:
+            current = self.strategy.aggregator
+            if isinstance(current, EdgeAggregator):
+                if current.groups != groups:
+                    raise ValueError(
+                        f"strategy carries edge topology with "
+                        f"{current.groups} groups but the config asks for "
+                        f"{config.topology!r}; drop one of the two"
+                    )
+            else:
+                self.strategy.aggregator = EdgeAggregator(groups, current)
         self.sampler = UniformClientSampler(config.clients_per_round)
+        # With the population known, the per-round participant count is
+        # resolved — an unreachable quorum (fractional participation, tiny
+        # population) fails here instead of timing out mid-round.
+        participants_per_round = self.sampler.round_size(len(self.population))
+        if config.quorum is not None and config.quorum > participants_per_round:
+            raise ValueError(
+                f"quorum {config.quorum} exceeds the resolved per-round "
+                f"participant count {participants_per_round} (population "
+                f"{len(self.population)}); no round could ever close"
+            )
         self._seed_tree = SeedTree(config.seed).child("server", strategy.name)
 
     def run(self, verbose: bool = False) -> FederatedResult:
@@ -279,13 +371,21 @@ class FederatedServer:
 
         for round_index in range(self.config.num_rounds):
             round_rng = self._seed_tree.generator("sample", round_index)
-            participants = self.sampler.sample(self.clients, round_rng)
+            participants = self.population.sample(self.sampler, round_rng)
             seeds = [
                 self._seed_tree.seed(
                     "client", client.client_id, "round", round_index
                 )
                 for client in participants
             ]
+
+            # Streaming aggregation (mean and its clip/edge compositions):
+            # the engine folds each accepted upload into the stream as it
+            # arrives and frees it, so aggregation overlaps collection and
+            # the server never materializes the survivor list.  ``None``
+            # (order statistics, strategies with their own aggregate)
+            # keeps the batch path.
+            stream = self.strategy.begin_stream(global_state)
 
             wall_start = time.perf_counter()
             updates = self.executor.run_round(
@@ -295,6 +395,7 @@ class FederatedServer:
                 participants,
                 round_index,
                 seeds,
+                stream=stream,
             )
             timer.record_local_wall(time.perf_counter() - wall_start)
             for update in updates:
@@ -326,12 +427,25 @@ class FederatedServer:
             wire_before = wire_now
 
             with timer.aggregation():
-                global_state = self.strategy.aggregate(
-                    global_state, updates, round_index
-                )
+                # The kwarg only exists on the base ``aggregate`` — and a
+                # stream only exists when that base is what runs
+                # (supports_streaming), so overriding strategies never see
+                # it.
+                if stream is not None:
+                    global_state = self.strategy.aggregate(
+                        global_state, updates, round_index, stream=stream
+                    )
+                else:
+                    global_state = self.strategy.aggregate(
+                        global_state, updates, round_index
+                    )
             timer.record_robustness(
                 rejected_uploads=len(self.strategy.aggregator.last_rejected)
             )
+            if tracemalloc.is_tracing():
+                # One peak sample per round (the CLI's --timing starts
+                # tracing); the report keeps the maximum across rounds.
+                timer.record_peak_memory(tracemalloc.get_traced_memory()[1])
 
             losses = [update.loss for update in updates]
             record = RoundRecord(
@@ -353,6 +467,7 @@ class FederatedServer:
                         self.model, dataset
                     )
             history.add(record)
+            self.population.release(participants)
             if verbose:
                 _LOG.info(
                     kv(

@@ -42,7 +42,7 @@ import numpy as np
 
 from repro.data.loader import Batcher
 from repro.data.synthetic import LabeledDataset
-from repro.fl.aggregate import Aggregator, make_aggregator
+from repro.fl.aggregate import AggregationStream, Aggregator, make_aggregator
 from repro.fl.client import Client
 from repro.fl.executor import ClientUpdate
 from repro.nn import SGD, CrossEntropyLoss
@@ -235,11 +235,35 @@ class Strategy:
             for client, state, loss in zip(clients, states, mean_losses)
         ]
 
+    def supports_streaming(self) -> bool:
+        """Whether this round's aggregation can run as a streaming fold.
+
+        True when the subclass kept the base :meth:`aggregate` (so the
+        reduction really is the aggregator's) *and* the installed
+        aggregator is online-reducible (``mean`` and its ``clip`` /
+        ``edge`` compositions).  A strategy that overrides ``aggregate``
+        — FedGMA's sign masking, FedDG-GA's gap reweighting — silently
+        keeps the batch path that materializes the survivor list.
+        """
+        if type(self).aggregate is not Strategy.aggregate:
+            return False
+        return self.aggregator.streaming
+
+    def begin_stream(self, global_state: StateDict) -> AggregationStream | None:
+        """Open this round's streaming reduction, or ``None`` when the
+        strategy/aggregator combination cannot stream.  The execution
+        engine folds each accepted upload in (freeing its state) and
+        :meth:`aggregate` finalizes."""
+        if not self.supports_streaming():
+            return None
+        return self.aggregator.begin_stream(global_state)
+
     def aggregate(
         self,
         global_state: StateDict,
         updates: list[ClientUpdate],
         round_index: int,
+        stream: AggregationStream | None = None,
     ) -> StateDict:
         """Merge client uploads into the next global state.
 
@@ -254,10 +278,23 @@ class Strategy:
 
         The reduction itself is delegated to :attr:`aggregator`
         (:mod:`repro.fl.aggregate`), so every strategy built on this hook
-        inherits whichever Byzantine-robust rule the run configured; the
-        default ``mean`` rule is the historical weighted
-        ``average_states`` call, bit for bit.
+        inherits whichever Byzantine-robust rule the run configured.
+
+        ``stream`` is the round's in-flight streaming reduction (from
+        :meth:`begin_stream`): the engine already folded every accepted
+        upload in — ``update.state`` is freed to ``None`` on that path —
+        so this call only finalizes.  Order invariance of the compensated
+        mean makes the result bit-identical to the batch reduction.
         """
+        if stream is not None:
+            if stream.count != len(updates):
+                raise RuntimeError(
+                    f"aggregation stream folded {stream.count} uploads but "
+                    f"{len(updates)} were accepted — engine/stream mismatch"
+                )
+            if stream.count == 0:
+                return global_state
+            return stream.finalize()
         if not updates:
             return global_state
         states = [update.state for update in updates]

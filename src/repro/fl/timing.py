@@ -62,6 +62,11 @@ class TimingReport:
     #: ... and the wall-clock headroom those early closes saved against
     #: the rounds' deadlines.
     early_close_seconds: float = 0.0
+    #: Peak traced server-process memory (``tracemalloc``) observed at any
+    #: round boundary, in bytes; 0 when tracing was off.  With streaming
+    #: aggregation and a lazy population this is O(participants), not
+    #: O(population) — the scaling invariant the memory smoke test pins.
+    peak_memory_bytes: int = 0
 
     @property
     def local_train_seconds_mean(self) -> float:
@@ -110,6 +115,7 @@ class PhaseTimer:
         self._rejected_uploads = 0
         self._early_closed_rounds = 0
         self._early_close_seconds = 0.0
+        self._peak_memory = 0
 
     @contextmanager
     def one_time(self) -> Iterator[None]:
@@ -191,6 +197,11 @@ class PhaseTimer:
         self._early_closed_rounds += int(early_closed_rounds)
         self._early_close_seconds += float(early_close_seconds)
 
+    def record_peak_memory(self, nbytes: int) -> None:
+        """Account a ``tracemalloc`` peak sample (the server takes one per
+        round when tracing is active); the report keeps the maximum."""
+        self._peak_memory = max(self._peak_memory, int(nbytes))
+
     def record_broadcast_decode(self, seconds: float) -> None:
         """Account one worker-measured lazy broadcast decode (the overlap
         window: this work ran inside the local phase, not behind a
@@ -224,4 +235,5 @@ class PhaseTimer:
             rejected_uploads=self._rejected_uploads,
             early_closed_rounds=self._early_closed_rounds,
             early_close_seconds=self._early_close_seconds,
+            peak_memory_bytes=self._peak_memory,
         )

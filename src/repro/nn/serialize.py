@@ -16,6 +16,7 @@ import numpy as np
 
 __all__ = [
     "StateDict",
+    "MeanAccumulator",
     "average_states",
     "state_add",
     "state_sub",
@@ -41,40 +42,149 @@ def _check_same_keys(states: Sequence[StateDict]) -> list[str]:
     return keys
 
 
+def _two_sum(a: float, b: float) -> tuple[float, float]:
+    """Knuth's branch-free TwoSum: ``a + b`` as a rounded sum plus its
+    exact rounding error (both floats)."""
+    s = a + b
+    bb = s - a
+    return s, (a - (s - bb)) + (b - bb)
+
+
+class MeanAccumulator:
+    """Online weighted mean over state dicts, in compensated (double-double)
+    arithmetic so the fold *order does not matter*.
+
+    Each ``fold(state, w)`` adds the per-key products ``w * state[key]``
+    (computed in float64) into a ``(hi, lo)`` running-sum pair via TwoSum,
+    and the weight into a scalar ``(hi, lo)`` pair the same way; ``merge``
+    composes two accumulators (the two-tier ``edge`` topology's root step)
+    and ``finalize`` divides once at the end.  The compensated sum carries
+    ~106 bits of precision, so reorderings and regroupings — streaming
+    arrival order, edge-tier grouping — agree with the sequential batch
+    reduction to well below the final float64 rounding step, and traces
+    stay bit-identical across engines regardless of upload arrival order.
+
+    Memory is one ``(hi, lo)`` buffer pair — constant in the number of
+    folds, which is what lets the server aggregate without materializing
+    the round's survivor list.
+    """
+
+    __slots__ = ("_keys", "_hi", "_lo", "_w_hi", "_w_lo", "count")
+
+    def __init__(self) -> None:
+        self._keys: list[str] | None = None
+        self._hi: StateDict = {}
+        self._lo: StateDict = {}
+        self._w_hi = 0.0
+        self._w_lo = 0.0
+        #: Number of states folded in (including merged accumulators').
+        self.count = 0
+
+    def fold(self, state: StateDict, weight: float) -> None:
+        """Add one state with raw (un-normalized) weight ``weight``."""
+        weight = float(weight)
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        keys = sorted(state)
+        if self._keys is None:
+            self._keys = keys
+            for key in keys:
+                shape = np.shape(state[key])
+                self._hi[key] = np.zeros(shape, dtype=np.float64)
+                self._lo[key] = np.zeros(shape, dtype=np.float64)
+        elif keys != self._keys:
+            raise KeyError("state dict has different keys")
+        for key in keys:
+            value = np.multiply(state[key], weight, dtype=np.float64)
+            hi, lo = self._hi[key], self._lo[key]
+            s = hi + value
+            bb = s - hi
+            lo += (hi - (s - bb)) + (value - bb)
+            hi[...] = s
+        s, err = _two_sum(self._w_hi, weight)
+        self._w_hi, self._w_lo = s, self._w_lo + err
+        self.count += 1
+
+    def merge(self, other: "MeanAccumulator") -> None:
+        """Fold another accumulator's partial sums into this one (exact
+        composition of weighted partial sums — the hierarchical step)."""
+        if other.count == 0:
+            return
+        if self._keys is None:
+            self._keys = list(other._keys or [])
+            for key in self._keys:
+                self._hi[key] = other._hi[key].copy()
+                self._lo[key] = other._lo[key].copy()
+        else:
+            if (other._keys or []) != self._keys:
+                raise KeyError("accumulator has different keys")
+            for key in self._keys:
+                for value in (other._hi[key], other._lo[key]):
+                    hi, lo = self._hi[key], self._lo[key]
+                    s = hi + value
+                    bb = s - hi
+                    lo += (hi - (s - bb)) + (value - bb)
+                    hi[...] = s
+        s, err = _two_sum(self._w_hi, other._w_hi)
+        self._w_hi, self._w_lo = s, self._w_lo + err + other._w_lo
+        self.count += other.count
+
+    def total_weight(self) -> float:
+        return self._w_hi + self._w_lo
+
+    def finalize(self, out: StateDict | None = None) -> StateDict:
+        """The weighted mean of everything folded so far.
+
+        With ``out=`` the result is written into the caller's float64
+        buffers (reused, not re-allocated) and ``out`` is returned; when
+        nothing was folded, ``out`` is returned untouched — the
+        empty-survivor edge case falls back to the caller's state without
+        a fresh allocation.
+        """
+        if self.count == 0:
+            if out is not None:
+                return out
+            raise ValueError("need at least one state dict")
+        total = self.total_weight()
+        if total <= 0:
+            raise ValueError("weights must not sum to zero")
+        result: StateDict = out if out is not None else {}
+        for key in self._keys or []:
+            value = self._hi[key] + self._lo[key]
+            if out is not None:
+                np.divide(value, total, out=result[key])
+            else:
+                result[key] = value / total
+        return result
+
+
 def average_states(
-    states: Sequence[StateDict], weights: Sequence[float] | None = None
+    states: Sequence[StateDict],
+    weights: Sequence[float] | None = None,
+    out: StateDict | None = None,
 ) -> StateDict:
     """Weighted average of state dicts (FedAvg, paper §III-B Aggregation).
 
-    ``weights`` default to uniform; they are normalized so callers can pass
-    raw client dataset sizes ``n_i`` directly.
+    ``weights`` default to uniform; callers pass raw client dataset sizes
+    ``n_i`` directly — normalization happens in a single pass, as one
+    divide of the compensated product-sum by the compensated weight total
+    (see :class:`MeanAccumulator`, which this wraps and whose order
+    invariance makes streaming and hierarchical reductions bit-identical
+    to this batch form).  ``out=`` reuses the caller's float64 buffers for
+    the result; with an empty ``states`` it is returned untouched instead
+    of raising.
     """
-    keys = _check_same_keys(states)
+    if not states and out is not None:
+        return out
+    _check_same_keys(states)
     if weights is None:
         weights = [1.0] * len(states)
     if len(weights) != len(states):
         raise ValueError("one weight per state dict required")
-    weights = np.asarray(weights, dtype=np.float64)
-    if np.any(weights < 0):
-        raise ValueError("weights must be non-negative")
-    total = weights.sum()
-    if total <= 0:
-        raise ValueError("weights must not sum to zero")
-    weights = weights / total
-    # In-place accumulation: one output plus one reusable scratch buffer per
-    # key instead of a fresh ``w * state[key]`` temporary per (key, client).
-    # The add order matches the old ``sum()`` exactly, so results stay
-    # bit-identical — aggregation is on the determinism-critical path.
-    result: StateDict = {}
-    for key in keys:
-        acc = np.multiply(states[0][key], weights[0])
-        if len(states) > 1:
-            scratch = np.empty_like(acc)
-            for w, state in zip(weights[1:], states[1:]):
-                np.multiply(state[key], w, out=scratch)
-                np.add(acc, scratch, out=acc)
-        result[key] = acc
-    return result
+    acc = MeanAccumulator()
+    for state, weight in zip(states, weights):
+        acc.fold(state, weight)
+    return acc.finalize(out=out)
 
 
 def state_add(a: StateDict, b: StateDict) -> StateDict:

@@ -159,19 +159,39 @@ class TestAveragingProperties:
 
 
 class TestAverageStatesInPlace:
-    """The in-place accumulation must be bit-identical to the naive
-    ``sum()`` over per-key temporaries it replaced."""
+    """The vectorized accumulation must be bit-identical to a scalar
+    reimplementation of the canonical reduction (compensated
+    double-double TwoSum folds, one divide at the end)."""
 
     @staticmethod
     def naive(states, weights=None):
         if weights is None:
             weights = [1.0] * len(states)
-        normalized = np.asarray(weights, dtype=np.float64)
-        normalized = normalized / normalized.sum()
-        return {
-            key: sum(w * state[key] for w, state in zip(normalized, states))
-            for key in sorted(states[0])
-        }
+
+        def two_sum(a, b):
+            s = a + b
+            bb = s - a
+            return s, (a - (s - bb)) + (b - bb)
+
+        w_hi, w_lo = 0.0, 0.0
+        for w in weights:
+            w_hi, err = two_sum(w_hi, float(w))
+            w_lo += err
+        total = w_hi + w_lo
+        out = {}
+        for key in sorted(states[0]):
+            shape = np.shape(states[0][key])
+            result = np.empty(shape, dtype=np.float64)
+            for idx in np.ndindex(shape):
+                hi, lo = 0.0, 0.0
+                for w, state in zip(weights, states):
+                    hi, err = two_sum(
+                        hi, float(state[key][idx]) * float(w)
+                    )
+                    lo += err
+                result[idx] = (hi + lo) / total
+            out[key] = result
+        return out
 
     def test_bit_identical_to_naive_sum(self, rng):
         states = [make_state(rng, offset=i * 0.3) for i in range(5)]
