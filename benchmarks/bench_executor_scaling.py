@@ -77,9 +77,13 @@ byzantine legs pair it with a Byzantine fault plan).
 from __future__ import annotations
 
 import argparse
+import os
 import pickle
+import subprocess
+import sys
 import time
 import tracemalloc
+from pathlib import Path
 
 import numpy as np
 
@@ -100,6 +104,7 @@ from repro.fl import (
     make_executor,
     shm_supported,
 )
+from repro.fl.net import RemoteExecutor
 from repro.nn.models import build_cnn_model
 from repro.utils.rng import SeedTree
 from repro.utils.tables import format_table
@@ -728,6 +733,201 @@ def _run_robust(suite) -> str:
     )
 
 
+def _net_transport_rounds(suite, transport: str, codec: str, rounds: int):
+    """Run one 2-worker engine configuration for the networking sweep;
+    returns (wire stats, per-round wall seconds)."""
+    clients = _make_clients(suite)[:CLIENTS_PER_ROUND]
+    model = build_cnn_model(
+        suite.image_shape, suite.num_classes, rng=np.random.default_rng(0)
+    )
+    strategy = FedAvgStrategy(LocalTrainingConfig(batch_size=32))
+    state = {key: value.copy() for key, value in model.state_dict().items()}
+    tree = SeedTree(0).child("server", "net-bench")
+    walls = []
+    with ParallelExecutor(
+        num_workers=2, codec=codec, transport=transport
+    ) as executor:
+        for round_index in range(rounds):
+            seeds = [
+                tree.seed("client", client.client_id, "round", round_index)
+                for client in clients
+            ]
+            begin = time.perf_counter()
+            updates = executor.run_round(
+                strategy, model, state, clients, round_index, seeds
+            )
+            walls.append(time.perf_counter() - begin)
+            state = strategy.aggregate(state, updates, round_index)
+        wire = executor.wire_stats()
+    return wire, walls
+
+
+#: The remote leg's local recipe: small batches and several epochs, so
+#: each agent's training phase is long enough for the pipelined overlap
+#: to be measurable above the loopback transfer cost even at smoke scale.
+NET_LOCAL = LocalTrainingConfig(batch_size=4, local_epochs=8)
+
+
+def _net_session(suite, executor, rounds: int):
+    """One remote-leg session (serial reference or RemoteExecutor) on a
+    compute-shaped small model: the wire and the server-side upload
+    ingest stay in the milliseconds, so the measured overlap isolates
+    the agents' concurrent *training* — the thing pipelining hides."""
+    model = build_cnn_model(
+        suite.image_shape, suite.num_classes, rng=np.random.default_rng(0),
+        widths=(8, 16), embed_dim=32,
+    )
+    server = FederatedServer(
+        strategy=FedAvgStrategy(NET_LOCAL),
+        clients=_make_clients(suite),
+        model=model,
+        eval_sets={"test": suite.datasets[3]},
+        config=FederatedConfig(
+            num_rounds=rounds, clients_per_round=CLIENTS_PER_ROUND, seed=0,
+        ),
+        executor=executor,
+    )
+    begin = time.perf_counter()
+    try:
+        return server.run(), time.perf_counter() - begin
+    finally:
+        executor.close()
+
+
+def _net_remote_leg(suite, pipelined: bool, rounds: int):
+    """One RemoteExecutor session against two *subprocess* agents (real
+    processes, so training genuinely overlaps across endpoints); returns
+    (run result, elapsed wall seconds)."""
+    executor = RemoteExecutor(num_agents=2, pipelined=pipelined)
+    host, port = executor.address
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    agents = [
+        subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.fl.net.agent",
+                "--connect", f"{host}:{port}", "--name", f"bench-{index}",
+            ],
+            env=env,
+        )
+        for index in range(2)
+    ]
+    try:
+        return _net_session(suite, executor, rounds)
+    finally:
+        for agent in agents:
+            try:
+                agent.wait(timeout=15)
+            except subprocess.TimeoutExpired:  # pragma: no cover - hang guard
+                agent.kill()
+
+
+def _run_net(suite) -> str:
+    """The cross-machine networking sweep (``repro.fl.net``), two halves.
+
+    First: warm per-round wire bytes and round wall clock for the
+    loopback ``tcp`` transport vs. ``shm`` (or ``pipe`` on shm-less
+    hosts), per codec, on the 2-worker pool — what moving the broadcast
+    fan-out onto sockets costs, and how much of it each codec claws back.
+    Second: the :class:`RemoteExecutor` against two subprocess agents,
+    pipelined vs. unpipelined — same trace by construction, so the
+    interesting columns are round latency and the measured cross-host
+    overlap, which must be > 0 only when pipelining is on.  Both halves
+    land in ``BENCH_net.json``.
+    """
+    rounds = max(3, bench_rounds(4))
+    reference = "shm" if shm_supported() else "pipe"
+    transport_rows = []
+    transport_sweep = []
+    for codec in CODEC_GRID:
+        for transport in ("tcp", reference):
+            wire, walls = _net_transport_rounds(suite, transport, codec, rounds)
+            down_kib = (wire.broadcast_bytes + wire.task_bytes) / rounds / 1024
+            up_kib = wire.upload_bytes / rounds / 1024
+            wall = sum(walls) / rounds
+            transport_rows.append(
+                [
+                    f"{transport} x2",
+                    codec,
+                    f"{down_kib:.0f}",
+                    f"{up_kib:.0f}",
+                    f"{wall:.3f}",
+                ]
+            )
+            transport_sweep.append(
+                {
+                    "transport": transport,
+                    "codec": codec,
+                    "down_kib_per_round": round(down_kib, 2),
+                    "up_kib_per_round": round(up_kib, 2),
+                    "wall_s_per_round": round(wall, 4),
+                }
+            )
+    transport_table = format_table(
+        [
+            "Transport",
+            "codec",
+            "down KiB/round",
+            "up KiB/round",
+            "wall (s/round)",
+        ],
+        transport_rows,
+        title=(
+            f"Networking — loopback tcp vs {reference}, bytes x wall clock "
+            f"per codec ({rounds} rounds, {CLIENTS_PER_ROUND} participants, "
+            f"2 workers)"
+        ),
+    )
+
+    serial_result, _ = _net_session(suite, SerialExecutor(), rounds)
+    serial_trace = _trace_of(serial_result)
+    remote_rows = []
+    remote_json = {"agents": 2, "rounds": rounds}
+    for pipelined in (True, False):
+        result, elapsed = _net_remote_leg(suite, pipelined, rounds)
+        overlap = result.timing.pipeline_overlap_seconds / rounds
+        matches = _trace_of(result) == serial_trace
+        label = "pipelined" if pipelined else "unpipelined"
+        remote_rows.append(
+            [
+                label,
+                f"{elapsed / rounds:.3f}",
+                f"{overlap:.3f}",
+                "yes" if matches else "NO",
+            ]
+        )
+        remote_json[label] = {
+            "wall_s_per_round": round(elapsed / rounds, 4),
+            "overlap_s_per_round": round(overlap, 4),
+            "trace_matches_serial": bool(matches),
+        }
+    remote_table = format_table(
+        [
+            "Remote round loop",
+            "wall (s/round)",
+            "overlap (s/round)",
+            "trace == serial",
+        ],
+        remote_rows,
+        title=(
+            f"Networking — RemoteExecutor over 2 subprocess agents, "
+            f"pipelined vs unpipelined ({rounds} rounds, "
+            f"{CLIENTS_PER_ROUND}/{NUM_CLIENTS} clients)"
+        ),
+    )
+    emit_json(
+        "net",
+        {
+            "rounds": rounds,
+            "reference_transport": reference,
+            "transports": transport_sweep,
+            "remote": remote_json,
+        },
+    )
+    return transport_table + "\n\n" + remote_table
+
+
 def _scale_factory(image_shape=(3, 8, 8), num_classes=7, samples=6):
     """A deterministic lazy client factory: each id regenerates the same
     small synthetic shard, so a 100k-client population costs nothing until
@@ -884,6 +1084,7 @@ def _tables(suite, worker_grid, codec="identity", transport="auto",
         parts.append(_run_faults_table(suite, worker_grid))
         parts.append(_run_compute(worker_grid))
         parts.append(_run_robust(suite))
+        parts.append(_run_net(suite))
         parts.append(_run_scale())
     return "\n\n".join(parts)
 
@@ -937,8 +1138,6 @@ if __name__ == "__main__":
         print(f"SKIP: transport {args.transport!r} unavailable on this host")
         raise SystemExit(0)
     if args.smoke:
-        import os
-
         os.environ.setdefault("REPRO_BENCH_SCALE", "fast")
     grid = [1, 2] if args.smoke else WORKER_GRID
     suite = synthetic_pacs(seed=0, samples_per_class=samples_per_class(40))

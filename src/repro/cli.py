@@ -46,7 +46,7 @@ from repro.fl.compute import compute_specs
 from repro.fl.executor import EXECUTOR_KINDS
 from repro.fl.faults import make_deadline_policy, make_fault_plan
 from repro.fl.server import parse_topology
-from repro.fl.transport import transport_specs
+from repro.fl.transport import make_transport, transport_usage
 from repro.fl.strategy import Strategy
 from repro.utils.tables import format_percent, format_table
 
@@ -194,6 +194,19 @@ def _codec_spec(value: str) -> str:
     return value
 
 
+def _transport_spec(value: str) -> str:
+    """Validate a transport spec (``auto``, ``pipe``, ``shm``, or a
+    parameterized ``tcp[:host:port]``) at parse time so a typo is a
+    usage error, not a mid-run traceback.  Builds the transport (which
+    also validates any params suffix) and discards it — no transport
+    binds a socket before its first publish."""
+    try:
+        make_transport(value)
+    except (TypeError, ValueError) as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return value
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--suite", choices=sorted(SUITES), required=True)
     parser.add_argument("--method", choices=sorted(METHODS), required=True)
@@ -223,10 +236,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "'fp16+deflate')",
     )
     parser.add_argument(
-        "--transport", choices=("auto",) + transport_specs(), default="auto",
-        help="wire transport for broadcast blobs: 'pipe' copies the blob "
-        "per worker, 'shm' publishes one shared-memory copy per round; "
-        "'auto' (default) prefers shm where the platform supports it",
+        "--transport", type=_transport_spec, default="auto",
+        help="wire transport for broadcast blobs: one of "
+        f"{', '.join(transport_usage())}; 'pipe' copies the blob per "
+        "worker, 'shm' publishes one shared-memory copy per round, "
+        "'tcp[:host:port]' serves it from a loopback (or bound) blob "
+        "server; 'auto' (default) prefers shm where the platform "
+        "supports it",
     )
     parser.add_argument(
         "--compute", choices=("auto",) + compute_specs(), default="auto",
@@ -295,6 +311,7 @@ _TIMING_HEADER = [
     "wire down (KiB)",
     "unique down (KiB)",
     "bcast decode (s)",
+    "overlap (s)",
     "dropped",
     "straggler (s)",
     "rebuilt",
@@ -309,7 +326,9 @@ def _timing_row(name: str, timing) -> list[str]:
 
     "unique down" counts each broadcast blob once per round regardless of
     worker fan-out; "bcast decode" is worker decode time that overlapped
-    the local phase; "dropped"/"straggler (s)"/"rebuilt" are the
+    the local phase; "overlap (s)" is pipelined cross-host time the
+    remote engine hid behind the round's wall clock (0.0 for in-host
+    engines); "dropped"/"straggler (s)"/"rebuilt" are the
     fault-tolerance counters — selected clients that produced no
     aggregated update, injected straggler slowdown absorbed, and worker
     slots rebuilt after crashes; "rejected"/"early close (s)" are the
@@ -329,6 +348,7 @@ def _timing_row(name: str, timing) -> list[str]:
         f"{timing.bytes_down / 1024:.1f}",
         f"{timing.unique_bytes_down / 1024:.1f}",
         f"{timing.broadcast_decode_seconds_total:.2f}",
+        f"{timing.pipeline_overlap_seconds:.2f}",
         str(timing.dropped_clients),
         f"{timing.straggler_seconds:.2f}",
         str(timing.rebuilt_workers),

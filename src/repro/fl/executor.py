@@ -143,6 +143,7 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "WorkerRuntime",
     "WireStats",
     "make_executor",
     "resolve_executor",
@@ -328,6 +329,13 @@ class Executor:
     #: The wire transport, for engines that have a wire (the serial engine
     #: keeps the ``None`` default — there is no process boundary to cross).
     transport: "Transport | None" = None
+
+    #: Broadcast/train/upload overlap the most recent round achieved, in
+    #: seconds: endpoint busy-time that ran concurrently with other remote
+    #: work instead of serializing behind it.  Only pipelined multi-host
+    #: engines (:class:`repro.fl.net.executor.RemoteExecutor`) report a
+    #: nonzero value; the server folds it into the timing report.
+    last_overlap_seconds: float = 0.0
 
     def __init__(
         self,
@@ -692,206 +700,334 @@ class _DroppedTask:
         self.reason = reason
 
 
-# -- process-pool engine ------------------------------------------------------
+def _ingest_group_upload(
+    engine: "Executor",
+    row: "list",
+    wire: object,
+    global_state: StateDict,
+    results: "dict[int, ClientUpdate]",
+    report: RoundFaultReport,
+    stream: "AggregationStream | None" = None,
+) -> int:
+    """Decode one group row's upload into ``results`` (keyed by dispatch
+    position), syncing scratch and running the acceptance checks; returns
+    how many updates were accepted.
+
+    Shared verbatim by every wire-crossing engine — the process pool
+    (:class:`ParallelExecutor`) and the socket engine
+    (:class:`repro.fl.net.executor.RemoteExecutor`) — so upload semantics
+    (codec chains, scratch materialization, corruption screening,
+    streaming folds) are literally one code path.  ``engine`` supplies
+    ``wire``/``codec``/``fault_plan``/``_upload_refs`` and, optionally, a
+    ``transport`` whose ``recv_upload`` unwraps the wire bytes.
+
+    The decode order is fixed per row, so every collection strategy
+    (index order, arrival order under a quorum, pipelined arrival order)
+    advances the codec reference chains identically for any given set of
+    ingested rows.
+    """
+    clients, _, positions, _ = row
+    blob = wire if engine.transport is None else engine.transport.recv_upload(wire)
+    engine.wire.upload_bytes += len(blob)
+    row_updates: list[ClientUpdate] = decode_payload(blob)
+    norm_screen = (
+        engine.fault_plan.norm_screen if engine.fault_plan is not None else None
+    )
+    accepted = 0
+    for client, position, update in zip(clients, positions, row_updates):
+        # Restore the codec-encoded state before anything
+        # downstream (aggregation, benches) touches the update.
+        decoded = engine.codec.decode(
+            update.state, engine._upload_refs.get(update.client_id)
+        )
+        update.state = decoded
+        if engine.codec.stateful:
+            engine._upload_refs[update.client_id] = decoded
+        # The out-of-band decode hands back read-only views into
+        # the upload blob.  That is fine for ``state`` (dropped
+        # after aggregation), but scratch outlives the round:
+        # materialize the delta so server-side scratch holds owned,
+        # writable values instead of pinning every client's blob
+        # for the session.
+        if update.scratch_delta:
+            update.scratch_delta = pickle.loads(
+                pickle.dumps(
+                    update.scratch_delta, pickle.HIGHEST_PROTOCOL
+                )
+            )
+        # Sync the server-side copy; applying (rather than
+        # recording) keeps its dirty set empty, so nothing bounces
+        # back next round.
+        client.scratch.apply_delta(update.scratch_delta)
+        if engine.fault_plan is not None and state_is_corrupt(
+            update.state, ref=global_state, norm_screen=norm_screen
+        ):
+            # Acceptance check on every decoded upload: distrust
+            # the weights, keep the scratch (applied above — the
+            # serial engine's in-process run mutates it the same
+            # way), and leave both reference chains advanced so the
+            # next delta still decodes bit-exactly.
+            report.dropped[client.client_id] = "corrupt"
+            continue
+        results[position] = update
+        accepted += 1
+        if stream is not None:
+            # Streaming aggregation overlaps collection: fold the
+            # accepted upload into the online accumulator the moment
+            # it passes the checks and free the decoded state — the
+            # server holds the accumulator plus at most the stateful
+            # codec's bounded reference chain, never the round's full
+            # update set.
+            stream.fold(update.state, float(update.num_samples), position)
+            update.state = None
+    return accepted
+
+
+# -- the training endpoint ----------------------------------------------------
 #
 # One single-process pool per worker slot gives deterministic task routing:
 # submissions to a slot run FIFO in one long-lived process, so a client's
-# home worker keeps its dataset, scratch, and the round's broadcast state as
-# module globals without any cross-worker coordination.
+# home worker keeps its dataset, scratch, and the round's broadcast state
+# without any cross-worker coordination.  All of that per-endpoint state
+# lives in a WorkerRuntime: pool workers install one as a module-global
+# singleton (process-wide, exactly like the historical module globals);
+# remote agents (repro.fl.net.agent) build one per server connection, so
+# in-process agent threads never share state.  Either way the training
+# side of the wire protocol is the same object running the same code.
 
-_WORKER_MODEL: "FeatureClassifierModel | None" = None
-_WORKER_CODEC: Codec | None = None
-_WORKER_TRANSPORT: Transport | None = None
-_WORKER_COMPUTE: ComputeBackend | None = None
-_WORKER_STRATEGY_BLOB: bytes | None = None
-_WORKER_STRATEGY: "Strategy | None" = None
-_WORKER_CLIENTS: dict[int, Client] = {}
-_WORKER_STATE: StateDict | None = None
-_WORKER_ROUND: int | None = None
-# The not-yet-decoded broadcast: (transport handle, round index).  The
-# broadcast handler only records it; the decode runs lazily at the round's
-# first tensor touch (see _ensure_round_state) so it overlaps the server's
-# dispatch and the other workers' training instead of serializing behind a
-# per-round barrier.
-_WORKER_PENDING: "tuple[object, int] | None" = None
-# Codec reference states (stateful codecs only): the previous decoded
-# broadcast, and each resident client's last uploaded state.  They advance
-# in lockstep with the server-side chains because lossless decoding is
-# bit-exact — that invariant is why stateful codecs must be lossless.
-_WORKER_BCAST_REF: StateDict | None = None
-_WORKER_UPLOAD_REFS: dict[int, StateDict] = {}
+
+class WorkerRuntime:
+    """The training endpoint's half of the wire protocol.
+
+    Holds everything a worker keeps between messages: the decoded model
+    template, the negotiated codec/transport/compute, resident clients,
+    the current round's (lazily decoded) broadcast, and the stateful-codec
+    reference states — the previous decoded broadcast and each resident
+    client's last uploaded state, which advance in lockstep with the
+    server-side chains because lossless decoding is bit-exact (that
+    invariant is why stateful codecs must be lossless).
+
+    Construction *is* negotiation: the four arguments are the pool
+    initargs — and, verbatim, the meta a remote agent receives in its
+    handshake welcome — so every endpoint builds the same pipeline from
+    the same strings before any state crosses the wire.
+    """
+
+    def __init__(
+        self,
+        model_blob: bytes,
+        codec_spec: str,
+        transport_spec: str,
+        compute_spec: str,
+    ) -> None:
+        self.model: "FeatureClassifierModel" = decode_payload(model_blob)
+        self.codec: Codec = make_codec(codec_spec)  # the negotiated wire codec
+        self.transport: Transport = make_transport(transport_spec)  # ...and transport
+        self.compute: ComputeBackend = make_compute(compute_spec)  # ...and compute
+        self.clients: dict[int, Client] = {}
+        self.strategy_blob: "bytes | None" = None
+        self.strategy: "Strategy | None" = None
+        self.state: StateDict | None = None
+        self.round_index: "int | None" = None
+        # The not-yet-decoded broadcast: (transport handle, round index).
+        # The broadcast handler only records it; the decode runs lazily at
+        # the round's first tensor touch (see ensure_round_state) so it
+        # overlaps the server's dispatch and the other workers' training
+        # instead of serializing behind a per-round barrier.
+        self.pending: "tuple[object, int] | None" = None
+        self.bcast_ref: StateDict | None = None
+        self.upload_refs: dict[int, StateDict] = {}
+
+    def register(self, clients_blob: bytes) -> int:
+        """Make the shipped clients resident; replaces same-id residents.
+
+        The blob also carries the ids the server's LRU evicted from this
+        endpoint since the last registration — piggybacked here so
+        worker-side copies (and their upload reference chains) are freed
+        without a dedicated message.  Either half may be empty: a
+        pure-eviction flush ships no clients, a pure registration no
+        evictions.
+        """
+        clients: "list[Client]"
+        evict_ids: "tuple[int, ...]"
+        clients, evict_ids = decode_payload(clients_blob)
+        for client_id in evict_ids:
+            self.clients.pop(client_id, None)
+            self.upload_refs.pop(client_id, None)
+        for client in clients:
+            client.scratch.mark_clean()  # registration is the sync point
+            self.clients[client.client_id] = client
+            # A fresh resident starts a fresh upload-reference chain; the
+            # server drops its copy at the same point.
+            self.upload_refs.pop(client.client_id, None)
+        return len(clients)
+
+    def set_strategy(self, strategy_blob: bytes) -> "Strategy":
+        if strategy_blob != self.strategy_blob:
+            self.strategy = decode_payload(strategy_blob)
+            self.strategy_blob = strategy_blob
+        return self.strategy
+
+    def broadcast(
+        self, strategy_blob: bytes, handle: object, round_index: int
+    ) -> float:
+        """Record one round's strategy + broadcast handle.
+
+        Deliberately does *not* decode the weights — that happens lazily at
+        the round's first tensor touch (:meth:`ensure_round_state`),
+        overlapping the decode with the server's task dispatch and the
+        other workers' training.  Returns the handler-entry
+        ``perf_counter`` timestamp; on the platforms this library runs,
+        ``perf_counter`` reads a system-wide monotonic clock, so a
+        same-host server can subtract its submit timestamp to measure the
+        transport's dispatch latency (pickling + pipe transfer for
+        ``pipe``, a tiny handle for ``shm``).
+        """
+        entry = time.perf_counter()
+        self.set_strategy(strategy_blob)
+        self.pending = (handle, round_index)
+        return entry
+
+    def ensure_round_state(self, round_index: int) -> float:
+        """Decode the pending broadcast if this task is the round's first
+        tensor touch on this endpoint; returns the decode wall clock (0.0
+        when the round state is already installed)."""
+        decode_seconds = 0.0
+        if self.pending is not None and self.pending[1] == round_index:
+            handle, pending_round = self.pending
+            start = time.perf_counter()
+            # fetch() is a pipe no-op / a zero-copy shm view / a tcp pull;
+            # decode_payload reads it out-of-band, so the codec decodes
+            # straight from the transport's buffer without an intermediate
+            # copy.
+            payload: Payload = decode_payload(self.transport.fetch(handle))
+            self.state = self.codec.decode(payload, self.bcast_ref)
+            if self.codec.stateful:
+                self.bcast_ref = self.state
+            self.round_index = pending_round
+            self.pending = None
+            decode_seconds = time.perf_counter() - start
+        if self.state is None or self.round_index != round_index:  # pragma: no cover
+            raise RuntimeError(
+                f"task for round {round_index} arrived without its broadcast "
+                f"(endpoint is at round {self.round_index})"
+            )
+        return decode_seconds
+
+    def run_task(
+        self,
+        task: "tuple[tuple[int, ...], int, tuple[int, ...], tuple[bytes | None, ...], FaultEvent | None]",
+    ) -> bytes:
+        """Train one co-resident client group and upload its updates.
+
+        ``task`` carries the group's client ids, their per-client seeds and
+        scratch-sync blobs, and at most one fault event.  Faulted clients
+        always dispatch as singleton groups (the server enforces this), so
+        a fault applies to ``client_ids[0]`` unambiguously; fault-free
+        clients of one endpoint may share a group, which the compute
+        backend trains as one fused stack.  The upload is always a *list*
+        of updates, in group order.
+
+        Crash faults are the *dispatcher's* problem, not this method's:
+        the pool wrapper (:func:`_run_resident_task`) hard-exits the
+        process before getting here, and the remote executor never
+        dispatches a crash victim at all (a remote agent is not the
+        server's process to kill).
+        """
+        client_ids, round_index, seeds, scratch_syncs, fault = task
+        if self.strategy is None:  # pragma: no cover - protocol violation
+            raise RuntimeError("endpoint received a task before init/broadcast")
+        decode_seconds = self.ensure_round_state(round_index)
+        clients: list[Client] = []
+        for client_id, scratch_sync in zip(client_ids, scratch_syncs):
+            client = self.clients.get(client_id)
+            if client is None:  # pragma: no cover - protocol violation
+                raise RuntimeError(
+                    f"client {client_id} is not resident on this endpoint"
+                )
+            if scratch_sync is not None:
+                client.scratch.apply_delta(decode_payload(scratch_sync))
+            clients.append(client)
+        straggler_seconds = 0.0
+        if fault is not None and fault.kind in ("straggler", "hang"):
+            # Injected slowness, slept before the update so train_seconds
+            # keeps measuring genuine compute.  A "hang" sleeps past the
+            # server's round deadline; the server drops it and absorbs the
+            # eventual result as a zombie.
+            time.sleep(fault.delay_seconds)
+            straggler_seconds = fault.delay_seconds
+        updates = self.compute.run_group(
+            self.strategy, self.model, self.state, clients,
+            round_index, list(seeds),
+        )
+        # The lazy broadcast decode ran inside this task; stamp it once, on
+        # the group's first update, so PhaseTimer's overlap accounting
+        # counts it exactly once per endpoint per round.
+        if updates:
+            updates[0].decode_seconds = decode_seconds
+            updates[0].straggler_seconds = straggler_seconds
+        if fault is not None and fault.kind == "corrupt":
+            # Poison *before* the codec, like a corrupted upload on a real
+            # wire; the server's acceptance check catches it after decode.
+            updates[0].state = poison_state(updates[0].state)
+        elif fault is not None and fault.kind == "byzantine":
+            # The adversary trains honestly, then uploads an attack state
+            # built against the broadcast it received — pre-codec, like any
+            # real client-side tampering.  Byzantine clients dispatch as
+            # singleton groups, so the attack targets updates[0].
+            updates[0].state = byzantine_state(
+                updates[0].state, self.state, fault
+            )
+        # Codec-encode each upload; ``update.state`` carries the Payload
+        # across the wire and the server restores a decoded state before
+        # anyone else sees the update.
+        for update in updates:
+            state = update.state
+            update.state = self.codec.encode(
+                state, self.upload_refs.get(update.client_id)
+            )
+            if self.codec.stateful:
+                self.upload_refs[update.client_id] = state
+        return self.transport.send_upload(encode_payload(updates))
+
+
+# The pool worker's process-wide runtime, installed by _worker_init.
+_WORKER_RUNTIME: "WorkerRuntime | None" = None
 
 
 def _worker_init(
     model_blob: bytes, codec_spec: str, transport_spec: str, compute_spec: str
 ) -> None:
-    global _WORKER_MODEL, _WORKER_CODEC, _WORKER_TRANSPORT, _WORKER_COMPUTE
-    global _WORKER_STATE, _WORKER_ROUND, _WORKER_PENDING, _WORKER_BCAST_REF
-    _WORKER_MODEL = decode_payload(model_blob)
-    _WORKER_CODEC = make_codec(codec_spec)  # the negotiated wire codec
-    _WORKER_TRANSPORT = make_transport(transport_spec)  # ...and transport
-    _WORKER_COMPUTE = make_compute(compute_spec)  # ...and compute backend
-    _WORKER_CLIENTS.clear()  # fork may inherit a sibling pool's module state
-    _WORKER_UPLOAD_REFS.clear()
-    _WORKER_STATE = None
-    _WORKER_ROUND = None
-    _WORKER_PENDING = None
-    _WORKER_BCAST_REF = None
+    # A fresh runtime replaces whatever fork inherited from a sibling pool's
+    # module state, wholesale.
+    global _WORKER_RUNTIME
+    _WORKER_RUNTIME = WorkerRuntime(
+        model_blob, codec_spec, transport_spec, compute_spec
+    )
 
 
 def _worker_register(clients_blob: bytes) -> int:
-    """Make the shipped clients resident; replaces same-id residents.
-
-    The blob also carries the ids the server's LRU evicted from this slot
-    since the last registration — piggybacked here so worker-side copies
-    (and their upload reference chains) are freed without a dedicated
-    message.  Either half may be empty: a pure-eviction flush ships no
-    clients, a pure registration no evictions.
-    """
-    clients: "list[Client]"
-    evict_ids: "tuple[int, ...]"
-    clients, evict_ids = decode_payload(clients_blob)
-    for client_id in evict_ids:
-        _WORKER_CLIENTS.pop(client_id, None)
-        _WORKER_UPLOAD_REFS.pop(client_id, None)
-    for client in clients:
-        client.scratch.mark_clean()  # registration is the sync point
-        _WORKER_CLIENTS[client.client_id] = client
-        # A fresh resident starts a fresh upload-reference chain; the
-        # server drops its copy at the same point.
-        _WORKER_UPLOAD_REFS.pop(client.client_id, None)
-    return len(clients)
-
-
-def _worker_strategy(strategy_blob: bytes) -> "Strategy":
-    global _WORKER_STRATEGY_BLOB, _WORKER_STRATEGY
-    if strategy_blob != _WORKER_STRATEGY_BLOB:
-        _WORKER_STRATEGY = decode_payload(strategy_blob)
-        _WORKER_STRATEGY_BLOB = strategy_blob
-    return _WORKER_STRATEGY
+    return _WORKER_RUNTIME.register(clients_blob)
 
 
 def _worker_broadcast(
     strategy_blob: bytes, handle: object, round_index: int
 ) -> float:
-    """Record one round's strategy + broadcast handle for this worker.
-
-    Deliberately does *not* decode the weights — that happens lazily at the
-    round's first tensor touch (:func:`_ensure_round_state`), overlapping
-    the decode with the server's task dispatch and the other workers'
-    training.  Returns the handler-entry ``perf_counter`` timestamp; on the
-    platforms this library runs, ``perf_counter`` reads a system-wide
-    monotonic clock, so the server can subtract its submit timestamp to
-    measure the transport's dispatch latency (pickling + pipe transfer for
-    ``pipe``, a tiny handle for ``shm``).
-    """
-    entry = time.perf_counter()
-    global _WORKER_PENDING
-    _worker_strategy(strategy_blob)
-    _WORKER_PENDING = (handle, round_index)
-    return entry
-
-
-def _ensure_round_state(round_index: int) -> float:
-    """Decode the pending broadcast if this task is the round's first tensor
-    touch on this worker; returns the decode wall clock (0.0 when the round
-    state is already installed)."""
-    global _WORKER_STATE, _WORKER_ROUND, _WORKER_PENDING, _WORKER_BCAST_REF
-    decode_seconds = 0.0
-    if _WORKER_PENDING is not None and _WORKER_PENDING[1] == round_index:
-        handle, pending_round = _WORKER_PENDING
-        start = time.perf_counter()
-        # fetch() is a pipe no-op / a zero-copy shm view; decode_payload
-        # reads it out-of-band, so the codec decodes straight from the
-        # transport's buffer without an intermediate copy.
-        payload: Payload = decode_payload(_WORKER_TRANSPORT.fetch(handle))
-        _WORKER_STATE = _WORKER_CODEC.decode(payload, _WORKER_BCAST_REF)
-        if _WORKER_CODEC.stateful:
-            _WORKER_BCAST_REF = _WORKER_STATE
-        _WORKER_ROUND = pending_round
-        _WORKER_PENDING = None
-        decode_seconds = time.perf_counter() - start
-    if _WORKER_STATE is None or _WORKER_ROUND != round_index:  # pragma: no cover
-        raise RuntimeError(
-            f"task for round {round_index} arrived without its broadcast "
-            f"(worker is at round {_WORKER_ROUND})"
-        )
-    return decode_seconds
+    return _WORKER_RUNTIME.broadcast(strategy_blob, handle, round_index)
 
 
 def _run_resident_task(
     task: "tuple[tuple[int, ...], int, tuple[int, ...], tuple[bytes | None, ...], FaultEvent | None]",
 ) -> bytes:
-    """Train one co-resident client group and upload its updates.
-
-    ``task`` carries the group's client ids, their per-client seeds and
-    scratch-sync blobs, and at most one fault event.  Faulted clients
-    always dispatch as singleton groups (the server enforces this), so a
-    fault applies to ``client_ids[0]`` unambiguously; fault-free clients of
-    one home worker may share a group, which the compute backend trains as
-    one fused stack.  The upload is always a *list* of updates, in group
-    order.
-    """
-    client_ids, round_index, seeds, scratch_syncs, fault = task
+    fault = task[4]
     if fault is not None and fault.kind == "crash":
         # Simulate a hard worker crash: no cleanup, no exception back up
         # the pipe — the pool just loses this process, exactly like a
         # kill -9.  os._exit skips atexit/finalizers on purpose.
         os._exit(1)
-    if _WORKER_MODEL is None or _WORKER_STRATEGY is None:  # pragma: no cover
-        raise RuntimeError("worker received a task before init/broadcast")
-    decode_seconds = _ensure_round_state(round_index)
-    clients: list[Client] = []
-    for client_id, scratch_sync in zip(client_ids, scratch_syncs):
-        client = _WORKER_CLIENTS.get(client_id)
-        if client is None:  # pragma: no cover - protocol violation
-            raise RuntimeError(
-                f"client {client_id} is not resident on this worker"
-            )
-        if scratch_sync is not None:
-            client.scratch.apply_delta(decode_payload(scratch_sync))
-        clients.append(client)
-    straggler_seconds = 0.0
-    if fault is not None and fault.kind in ("straggler", "hang"):
-        # Injected slowness, slept before the update so train_seconds
-        # keeps measuring genuine compute.  A "hang" sleeps past the
-        # server's round deadline; the server drops it and absorbs the
-        # eventual result as a zombie.
-        time.sleep(fault.delay_seconds)
-        straggler_seconds = fault.delay_seconds
-    updates = _WORKER_COMPUTE.run_group(
-        _WORKER_STRATEGY, _WORKER_MODEL, _WORKER_STATE, clients,
-        round_index, list(seeds),
-    )
-    # The lazy broadcast decode ran inside this task; stamp it once, on the
-    # group's first update, so PhaseTimer's overlap accounting counts it
-    # exactly once per worker per round.
-    if updates:
-        updates[0].decode_seconds = decode_seconds
-        updates[0].straggler_seconds = straggler_seconds
-    if fault is not None and fault.kind == "corrupt":
-        # Poison *before* the codec, like a corrupted upload on a real
-        # wire; the server's acceptance check catches it after decode.
-        updates[0].state = poison_state(updates[0].state)
-    elif fault is not None and fault.kind == "byzantine":
-        # The adversary trains honestly, then uploads an attack state
-        # built against the broadcast it received — pre-codec, like any
-        # real client-side tampering.  Byzantine clients dispatch as
-        # singleton groups, so the attack targets updates[0].
-        updates[0].state = byzantine_state(
-            updates[0].state, _WORKER_STATE, fault
-        )
-    # Codec-encode each upload; ``update.state`` carries the Payload across
-    # the wire and the server restores a decoded state before anyone else
-    # sees the update.
-    for update in updates:
-        state = update.state
-        update.state = _WORKER_CODEC.encode(
-            state, _WORKER_UPLOAD_REFS.get(update.client_id)
-        )
-        if _WORKER_CODEC.stateful:
-            _WORKER_UPLOAD_REFS[update.client_id] = state
-    return _WORKER_TRANSPORT.send_upload(encode_payload(updates))
+    if _WORKER_RUNTIME is None:  # pragma: no cover - protocol violation
+        raise RuntimeError("worker received a task before init")
+    return _WORKER_RUNTIME.run_task(task)
 
 
 def _default_workers() -> int:
@@ -1122,7 +1258,7 @@ class ParallelExecutor(Executor):
             compute_spec = resolve_compute(self.compute, model)
             self._pool_compute = make_compute(compute_spec)
             self._pool_initargs = (
-                model_blob, self.codec.spec, self.transport.name, compute_spec,
+                model_blob, self.codec.spec, self.transport.spec, compute_spec,
             )
             self._pools = [
                 self._new_slot_pool() for _ in range(self.num_workers)
@@ -1609,70 +1745,9 @@ class ParallelExecutor(Executor):
         report: RoundFaultReport,
         stream: "AggregationStream | None" = None,
     ) -> int:
-        """Decode one group row's upload into ``results`` (keyed by
-        dispatch position), syncing scratch and running the acceptance
-        checks; returns how many updates were accepted.
-
-        The decode order is fixed per row, so both collection strategies
-        (index order in :meth:`_collect_uploads`, arrival order under a
-        quorum) advance the codec reference chains identically for any
-        given set of ingested rows.
-        """
-        clients, _, positions, _ = row
-        blob = self.transport.recv_upload(wire)
-        self.wire.upload_bytes += len(blob)
-        row_updates: list[ClientUpdate] = decode_payload(blob)
-        norm_screen = (
-            self.fault_plan.norm_screen if self.fault_plan is not None else None
+        return _ingest_group_upload(
+            self, row, wire, global_state, results, report, stream
         )
-        accepted = 0
-        for client, position, update in zip(clients, positions, row_updates):
-            # Restore the codec-encoded state before anything
-            # downstream (aggregation, benches) touches the update.
-            decoded = self.codec.decode(
-                update.state, self._upload_refs.get(update.client_id)
-            )
-            update.state = decoded
-            if self.codec.stateful:
-                self._upload_refs[update.client_id] = decoded
-            # The out-of-band decode hands back read-only views into
-            # the upload blob.  That is fine for ``state`` (dropped
-            # after aggregation), but scratch outlives the round:
-            # materialize the delta so server-side scratch holds owned,
-            # writable values instead of pinning every client's blob
-            # for the session.
-            if update.scratch_delta:
-                update.scratch_delta = pickle.loads(
-                    pickle.dumps(
-                        update.scratch_delta, pickle.HIGHEST_PROTOCOL
-                    )
-                )
-            # Sync the server-side copy; applying (rather than
-            # recording) keeps its dirty set empty, so nothing bounces
-            # back next round.
-            client.scratch.apply_delta(update.scratch_delta)
-            if self.fault_plan is not None and state_is_corrupt(
-                update.state, ref=global_state, norm_screen=norm_screen
-            ):
-                # Acceptance check on every decoded upload: distrust
-                # the weights, keep the scratch (applied above — the
-                # serial engine's in-process run mutates it the same
-                # way), and leave both reference chains advanced so the
-                # next delta still decodes bit-exactly.
-                report.dropped[client.client_id] = "corrupt"
-                continue
-            results[position] = update
-            accepted += 1
-            if stream is not None:
-                # Streaming aggregation overlaps collection: fold the
-                # accepted upload into the online accumulator the moment
-                # it passes the checks and free the decoded state — the
-                # server holds the accumulator plus at most the stateful
-                # codec's bounded reference chain, never the round's full
-                # update set.
-                stream.fold(update.state, float(update.num_samples), position)
-                update.state = None
-        return accepted
 
     def _collect_uploads_quorum(
         self,

@@ -75,6 +75,19 @@ Fault kinds
     to the broadcast state's per-tensor scale.  Payloads are pure
     functions of ``(seed, client, round)`` like every other injection.
 
+Drop reasons
+------------
+``RoundRecord.dropped`` maps every selected-but-unaggregated client to a
+typed reason from :data:`DROP_REASONS`: ``dropout``, ``straggler``,
+``deadline``, ``corrupt``, ``crash``, and ``quorum`` as described above,
+plus ``disconnect`` — a *remote* failure mode with no in-host analogue:
+the cross-machine engine (:class:`repro.fl.net.executor.RemoteExecutor`)
+drops a client with reason ``"disconnect"`` when the agent hosting it
+vanishes mid-round (socket EOF or write error).  Like a crash, the round
+closes gracefully over the survivors; unlike a crash, nothing is rebuilt
+— the dead agent's clients are simply outstanding until the server
+re-homes them in a later round.
+
 Magnitude screen
 ----------------
 ``screen=M`` arms a second acceptance check on every decoded upload:
@@ -119,6 +132,7 @@ from repro.utils.rng import stable_hash
 
 __all__ = [
     "BYZANTINE_MODES",
+    "DROP_REASONS",
     "FAULT_KINDS",
     "AdaptiveDeadline",
     "FaultEvent",
@@ -136,6 +150,18 @@ __all__ = [
 
 #: Injectable fault kinds (see the module docstring for semantics).
 FAULT_KINDS = ("dropout", "straggler", "hang", "corrupt", "crash", "byzantine")
+
+#: Typed reasons engines put in ``RoundRecord.dropped`` (see the module
+#: docstring's "Drop reasons" section).  ``disconnect`` is remote-only.
+DROP_REASONS = (
+    "dropout",
+    "straggler",
+    "deadline",
+    "corrupt",
+    "crash",
+    "quorum",
+    "disconnect",
+)
 
 #: Default injected slowdown for rate-scheduled stragglers (seconds).
 DEFAULT_STRAGGLER_DELAY = 0.05

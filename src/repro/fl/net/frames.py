@@ -1,0 +1,206 @@
+"""Length-prefixed wire frames: the one framing every socket in repro uses.
+
+A frame is a 4-byte big-endian payload length followed by the payload
+bytes.  That is the whole format — no per-frame type tag (message kinds
+live inside the payload, see :mod:`repro.fl.net.protocol`), no checksum
+(TCP already guarantees integrity), no padding.
+
+The core is the sans-io :class:`FrameDecoder`: feed it whatever byte
+chunks the kernel hands you — down to one byte at a time — and collect
+completed frames.  The blocking-socket helpers (:func:`send_frame` /
+:func:`recv_frame`) and the asyncio helpers (:func:`read_frame` /
+:func:`write_frame`) are thin shims over the same encoder/decoder, so the
+fragmentation tests exercise exactly the production parsing path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+
+__all__ = [
+    "FrameDecoder",
+    "FrameError",
+    "FrameStream",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "send_frame",
+    "recv_frame",
+    "read_frame",
+    "write_frame",
+]
+
+_HEADER = struct.Struct(">I")
+
+#: Hard ceiling on a single frame's payload.  Broadcast blobs for
+#: paper-scale models are a few MiB; a gigabyte-scale length prefix means
+#: a corrupt or hostile peer, and refusing it early beats an OOM later.
+MAX_FRAME_BYTES = 1 << 30
+
+
+class FrameError(ValueError):
+    """A malformed frame: oversized length prefix, or a peer that closed
+    mid-frame (leaving an undecodable tail)."""
+
+
+def encode_frame(payload: "bytes | memoryview") -> bytes:
+    """The on-wire bytes for one frame: ``>I`` length prefix + payload."""
+    length = len(payload)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame payload of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    return _HEADER.pack(length) + bytes(payload)
+
+
+class FrameDecoder:
+    """Incremental sans-io frame parser.
+
+    >>> dec = FrameDecoder()
+    >>> for byte in encode_frame(b"hi"):   # worst-case fragmentation
+    ...     frames = dec.feed(bytes([byte]))
+    >>> frames
+    [b'hi']
+
+    ``feed`` returns every frame completed by the chunk (zero or more);
+    partial header/payload bytes are buffered until the rest arrives.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, chunk: "bytes | memoryview") -> "list[bytes]":
+        self._buffer.extend(chunk)
+        frames: "list[bytes]" = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return frames
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise FrameError(
+                    f"frame header announces {length} bytes, over the "
+                    f"{MAX_FRAME_BYTES} cap — corrupt or hostile peer"
+                )
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                return frames
+            frames.append(bytes(self._buffer[_HEADER.size : end]))
+            del self._buffer[:end]
+
+    @property
+    def pending_bytes(self) -> int:
+        """Buffered bytes of the not-yet-complete frame (0 when aligned)."""
+        return len(self._buffer)
+
+
+# -- blocking-socket shims -----------------------------------------------------
+
+
+def send_frame(sock: socket.socket, payload: "bytes | memoryview") -> int:
+    """Write one frame to a blocking socket; returns bytes on the wire."""
+    data = encode_frame(payload)
+    sock.sendall(data)
+    return len(data)
+
+
+def recv_frame(sock: socket.socket) -> "bytes | None":
+    """Read exactly one frame from a blocking socket.
+
+    Returns ``None`` on a clean EOF at a frame boundary; raises
+    :class:`FrameError` if the peer vanished mid-frame.
+    """
+    decoder = FrameDecoder()
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            if decoder.pending_bytes:
+                raise FrameError(
+                    f"peer closed mid-frame with {decoder.pending_bytes} bytes buffered"
+                )
+            return None
+        frames = decoder.feed(chunk)
+        if frames:
+            if len(frames) > 1 or decoder.pending_bytes:
+                # recv_frame is only used for strict request/response turns,
+                # where the peer never pipelines a second frame.
+                raise FrameError("unexpected pipelined bytes after frame")
+            return frames[0]
+
+
+class FrameStream:
+    """A persistent framed view of one blocking socket.
+
+    Unlike :func:`recv_frame` (strict request/response: one frame per
+    turn, pipelined bytes are an error), a stream keeps its decoder
+    across calls, so a peer may pipeline frames back-to-back — which the
+    federation server does after the welcome (register, broadcast, and a
+    burst of tasks can all be in flight at once).  The agent serve loop
+    is the intended consumer.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._decoder = FrameDecoder()
+        self._ready: "list[bytes]" = []
+
+    def next_frame(self) -> "bytes | None":
+        """The next frame, blocking until one arrives; ``None`` on a
+        clean EOF at a frame boundary."""
+        while not self._ready:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                if self._decoder.pending_bytes:
+                    raise FrameError(
+                        f"peer closed mid-frame with "
+                        f"{self._decoder.pending_bytes} bytes buffered"
+                    )
+                return None
+            self._ready.extend(self._decoder.feed(chunk))
+        return self._ready.pop(0)
+
+    @property
+    def buffered(self) -> bool:
+        """Whether a decoded frame is already waiting (i.e. ``next_frame``
+        would return without touching the socket).  Selector loops must
+        drain buffered frames before blocking on readability again — the
+        kernel will not signal bytes that already left the socket."""
+        return bool(self._ready)
+
+    def send(self, payload: "bytes | memoryview") -> int:
+        """Write one frame back to the peer; returns bytes on the wire."""
+        return send_frame(self._sock, payload)
+
+
+# -- asyncio shims -------------------------------------------------------------
+
+
+async def read_frame(reader: asyncio.StreamReader) -> "bytes | None":
+    """Read one frame from an asyncio stream; ``None`` on clean EOF."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError(
+            f"peer closed mid-frame with {len(exc.partial)} header bytes"
+        ) from exc
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame header announces {length} bytes, over the {MAX_FRAME_BYTES} cap"
+        )
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError(
+            f"peer closed mid-frame: {len(exc.partial)}/{length} payload bytes"
+        ) from exc
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, payload: "bytes | memoryview"
+) -> int:
+    """Write one frame to an asyncio stream and drain; returns wire bytes."""
+    data = encode_frame(payload)
+    writer.write(data)
+    await writer.drain()
+    return len(data)

@@ -401,6 +401,10 @@ class FederatedServer:
             for update in updates:
                 timer.record_local_train(update.train_seconds)
                 timer.record_broadcast_decode(update.decode_seconds)
+            # Cross-host pipelining win (nonzero only for the remote
+            # engine's pipelined rounds): remote busy time that overlapped
+            # other hosts' broadcast/train/upload.
+            timer.record_pipeline_overlap(self.executor.last_overlap_seconds)
             # What the fault layer did to the round: recorded on the round
             # history (who dropped, and why) and folded into the timing
             # report's robustness counters.  Aggregation below reweights

@@ -46,6 +46,11 @@ class TimingReport:
     #: ran *inside* the local phase (overlapped with training and dispatch)
     #: instead of behind a synchronous pre-round barrier.
     broadcast_decode_seconds_total: float = 0.0
+    #: Cross-host broadcast/train/upload overlap (pipelined multi-host
+    #: rounds only — see :class:`repro.fl.net.executor.RemoteExecutor`):
+    #: remote-endpoint busy time that ran concurrently with other hosts'
+    #: work instead of serializing behind it.  Zero for in-host engines.
+    pipeline_overlap_seconds: float = 0.0
     #: Fault-tolerance counters (see repro.fl.faults): selected clients
     #: that produced no aggregated update (dropouts, crash victims,
     #: deadline misses, corrupt uploads), ...
@@ -109,6 +114,7 @@ class PhaseTimer:
         self._bytes_down = 0
         self._unique_bytes_down = 0
         self._decode_total = 0.0
+        self._pipeline_overlap = 0.0
         self._dropped_clients = 0
         self._straggler_seconds = 0.0
         self._rebuilt_workers = 0
@@ -208,6 +214,12 @@ class PhaseTimer:
         pre-round barrier)."""
         self._decode_total += seconds
 
+    def record_pipeline_overlap(self, seconds: float) -> None:
+        """Account one round's cross-host pipelining win: remote busy time
+        that ran concurrently with other hosts' broadcast/train/upload
+        instead of serializing behind it."""
+        self._pipeline_overlap += float(seconds)
+
     @contextmanager
     def aggregation(self) -> Iterator[None]:
         start = time.perf_counter()
@@ -229,6 +241,7 @@ class PhaseTimer:
             bytes_down=self._bytes_down,
             unique_bytes_down=self._unique_bytes_down,
             broadcast_decode_seconds_total=self._decode_total,
+            pipeline_overlap_seconds=self._pipeline_overlap,
             dropped_clients=self._dropped_clients,
             straggler_seconds=self._straggler_seconds,
             rebuilt_workers=self._rebuilt_workers,

@@ -22,10 +22,18 @@ on the CLI, ``transport=`` on :class:`repro.fl.server.FederatedConfig`,
     and feed a *read-only, zero-copy* view straight into the serializer's
     protocol-5 out-of-band decode — no per-worker copy ever exists.
 
+``tcp``
+    Socket broadcast (:mod:`repro.fl.net.transport`): the server publishes
+    the post-codec blob once to an in-process asyncio blob server and
+    workers pull it over a loopback (or real) TCP connection — the
+    single-host on-ramp to cross-machine federation.  Accepts an optional
+    bind address: ``tcp`` (loopback, ephemeral port) or ``tcp:host:port``.
+
 ``auto`` (the default everywhere) resolves to ``shm`` when the platform
-supports POSIX shared memory and to ``pipe`` otherwise.  Both transports
-move byte-identical blobs, so run traces are transport-invariant by
-construction — the engines' regression tests assert it.
+supports POSIX shared memory and degrades to ``pipe`` — with a logged
+reason — otherwise.  All transports move byte-identical blobs, so run
+traces are transport-invariant by construction — the engines' regression
+tests assert it.
 
 Segment lifecycle (shm)
 -----------------------
@@ -59,6 +67,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.utils.logging import get_logger
+
 __all__ = [
     "Transport",
     "PipeTransport",
@@ -68,13 +78,18 @@ __all__ = [
     "register_transport",
     "resolve_transport",
     "transport_specs",
+    "transport_usage",
     "shm_supported",
     "TRANSPORT_KINDS",
     "SHM_SEGMENT_PREFIX",
 ]
 
-#: Spec strings accepted wherever a transport is configured.
-TRANSPORT_KINDS = ("auto", "pipe", "shm")
+_log = get_logger("fl.transport")
+
+#: Spec strings accepted wherever a transport is configured (parameterized
+#: transports additionally accept a ``name:params`` suffix, e.g.
+#: ``tcp:host:port``).
+TRANSPORT_KINDS = ("auto", "pipe", "shm", "tcp")
 
 #: Every shm segment this library creates carries this name prefix, so leak
 #: checks (and humans inspecting ``/dev/shm``) can tell ours apart.  Kept
@@ -114,6 +129,13 @@ class Transport:
 
     #: Spec string this transport answers to in the registry.
     name = "transport"
+
+    @property
+    def spec(self) -> str:
+        """The full spec string that rebuilds an equivalent endpoint in a
+        worker process (``name`` plus any instance parameters).  Shipped in
+        pool initargs so both sides negotiate from the same string."""
+        return self.name
 
     # -- server role ---------------------------------------------------------
 
@@ -323,16 +345,32 @@ def _try_close(segment: object) -> bool:
 
 # -- registry -----------------------------------------------------------------
 
-_TRANSPORTS: dict[str, Callable[[], Transport]] = {}
+#: name -> (factory, parameterized).  A parameterized factory takes the
+#: params string that followed ``name:`` in the spec (or ``None``); plain
+#: factories take no arguments and their specs reject a params suffix.
+_TRANSPORTS: "dict[str, tuple[Callable[..., Transport], bool]]" = {}
 
 
-def register_transport(name: str, factory: Callable[[], Transport]) -> None:
-    """Register a transport under a spec name (mirrors the codec registry)."""
-    _TRANSPORTS[name] = factory
+def register_transport(
+    name: str, factory: Callable[..., Transport], *, parameterized: bool = False
+) -> None:
+    """Register a transport under a spec name (mirrors the codec registry).
+
+    ``parameterized=True`` makes the spec accept a ``name:params`` suffix
+    (e.g. ``tcp:host:port``) which is handed to ``factory(params)``.
+    """
+    _TRANSPORTS[name] = (factory, parameterized)
+
+
+def _tcp_factory(params: "str | None" = None) -> Transport:
+    from repro.fl.net.transport import TcpTransport
+
+    return TcpTransport(params)
 
 
 register_transport("pipe", PipeTransport)
 register_transport("shm", ShmTransport)
+register_transport("tcp", _tcp_factory, parameterized=True)
 
 
 def transport_specs() -> tuple[str, ...]:
@@ -340,7 +378,26 @@ def transport_specs() -> tuple[str, ...]:
     return tuple(sorted(_TRANSPORTS))
 
 
+def transport_usage() -> tuple[str, ...]:
+    """Human-oriented spec forms for error messages and ``--help``: every
+    registered name, with ``[:params]`` marking the parameterized ones."""
+    forms = ["auto"]
+    for name in sorted(_TRANSPORTS):
+        _, parameterized = _TRANSPORTS[name]
+        forms.append(f"{name}[:host:port]" if parameterized else name)
+    return tuple(forms)
+
+
+def _split_spec(spec: str) -> "tuple[str, str | None]":
+    """``"tcp:host:port"`` -> ``("tcp", "host:port")``; bare names get
+    ``None`` params."""
+    base, sep, params = spec.partition(":")
+    return base, (params if sep else None)
+
+
 _SHM_SUPPORTED: bool | None = None
+_SHM_UNSUPPORTED_REASON: str = ""
+_DEGRADE_LOGGED = False
 
 
 def shm_supported() -> bool:
@@ -350,7 +407,7 @@ def shm_supported() -> bool:
     missing ``/dev/shm``-style backing, and sandbox denials all land here
     as an honest ``False`` rather than a mid-run crash.
     """
-    global _SHM_SUPPORTED
+    global _SHM_SUPPORTED, _SHM_UNSUPPORTED_REASON
     if _SHM_SUPPORTED is None:
         try:
             from multiprocessing import shared_memory
@@ -359,26 +416,51 @@ def shm_supported() -> bool:
             probe.close()
             probe.unlink()
             _SHM_SUPPORTED = True
-        except Exception:
+        except Exception as exc:
             _SHM_SUPPORTED = False
+            _SHM_UNSUPPORTED_REASON = f"{type(exc).__name__}: {exc}"
     return _SHM_SUPPORTED
 
 
+def _log_degrade(reason: str) -> None:
+    """Log the shm -> pipe degradation once per process (the resolve runs
+    at config validation, pool build, and every worker init)."""
+    global _DEGRADE_LOGGED
+    if not _DEGRADE_LOGGED:
+        _DEGRADE_LOGGED = True
+        _log.warning(
+            "transport 'auto': shared memory unavailable (%s); degrading shm -> pipe",
+            reason or "probe failed",
+        )
+
+
 def resolve_transport(spec: str, supported: bool | None = None) -> str:
-    """Resolve ``"auto"`` to a concrete transport name.
+    """Resolve ``"auto"`` to a concrete transport name and validate the rest.
 
     ``auto`` prefers the single-copy ``shm`` broadcast whenever the
-    platform supports it (``supported`` overrides the probe, for tests).
-    Concrete names pass through, unknown ones fail loudly.
+    platform supports it (``supported`` overrides the probe, for tests) and
+    degrades to ``pipe`` — logging the probe's failure reason once —
+    otherwise.  Concrete specs pass through (with any ``name:params``
+    suffix intact), unknown names and stray params fail loudly with the
+    full registered-spec list.
     """
     if spec == "auto":
         if supported is None:
             supported = shm_supported()
-        return "shm" if supported else "pipe"
-    if spec not in _TRANSPORTS:
+        if supported:
+            return "shm"
+        _log_degrade(_SHM_UNSUPPORTED_REASON if supported is False else "")
+        return "pipe"
+    base, params = _split_spec(spec)
+    if base not in _TRANSPORTS:
         raise ValueError(
-            f"unknown transport {spec!r}; expected one of "
-            f"{('auto',) + transport_specs()}"
+            f"unknown transport {spec!r}; expected one of {transport_usage()}"
+        )
+    _, parameterized = _TRANSPORTS[base]
+    if params is not None and not parameterized:
+        raise ValueError(
+            f"transport {base!r} takes no parameters (got {spec!r}); "
+            f"expected one of {transport_usage()}"
         )
     return spec
 
@@ -394,4 +476,6 @@ def make_transport(spec: "str | Transport") -> Transport:
         return spec
     if not isinstance(spec, str) or not spec:
         raise TypeError(f"transport spec must be a non-empty string, got {spec!r}")
-    return _TRANSPORTS[resolve_transport(spec)]()
+    base, params = _split_spec(resolve_transport(spec))
+    factory, parameterized = _TRANSPORTS[base]
+    return factory(params) if parameterized else factory()

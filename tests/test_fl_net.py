@@ -1,0 +1,593 @@
+"""Tests for cross-machine federation (`repro.fl.net`).
+
+The acceptance bar: the loopback ``tcp`` transport and the
+:class:`RemoteExecutor` produce traces *bit-identical* to the in-host
+engines (serial, parallel+pipe, parallel+shm) under both lossless
+codecs — including the seeded chaos plan and a Byzantine leg; frames
+survive worst-case 1-byte fragmentation; the handshake rejects version
+and spec mismatches; a mid-upload agent disconnect is a typed fault
+(``"disconnect"``) that never wedges round close.
+"""
+
+import json
+import logging
+import os
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.baselines import FedAvgStrategy
+from repro.data import partition_clients, synthetic_pacs
+from repro.fl import (
+    Client,
+    FaultPlan,
+    FederatedConfig,
+    FederatedServer,
+    LocalTrainingConfig,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+    make_transport,
+    resolve_transport,
+    shm_supported,
+    transport_specs,
+)
+from repro.fl.faults import DROP_REASONS
+from repro.fl.net import (
+    FrameDecoder,
+    FrameError,
+    FrameStream,
+    MAX_FRAME_BYTES,
+    HandshakeError,
+    RemoteExecutor,
+    TcpHandle,
+    TcpTransport,
+    encode_frame,
+    recv_frame,
+)
+from repro.fl.net.agent import run_agent
+from repro.fl.net.protocol import (
+    HELLO,
+    REJECT,
+    TASK,
+    WELCOME,
+    decode_message,
+    encode_message,
+    evaluate_hello,
+    hello_meta,
+)
+from repro.fl.net.serve import trace_dict
+from repro.fl.net.transport import parse_endpoint
+from repro.nn import build_mlp_model
+
+SUITE = synthetic_pacs(seed=0, samples_per_class=8, image_size=8)
+FAST = LocalTrainingConfig(batch_size=8)
+
+#: Same seeded plan as the fault tests: dropouts + stragglers + corrupted
+#: uploads + one crash round, all deterministic functions of the seed.
+CHAOS_PLAN = FaultPlan(
+    seed=7,
+    dropout_rate=0.15,
+    straggler_rate=0.25,
+    straggler_delay=0.02,
+    corrupt_rate=0.1,
+    crash_rounds=(1,),
+)
+
+
+def make_clients(n_clients=8, seed=0):
+    partition = partition_clients(
+        SUITE, [0, 1], n_clients, 0.2, np.random.default_rng(seed)
+    )
+    return [Client(i, d) for i, d in enumerate(partition.client_datasets)]
+
+
+def _model(rng_seed=0):
+    return build_mlp_model(
+        SUITE.image_shape, SUITE.num_classes, rng=np.random.default_rng(rng_seed)
+    )
+
+
+def run_once(executor, rounds=3, config_kwargs=None):
+    server = FederatedServer(
+        strategy=FedAvgStrategy(FAST),
+        clients=make_clients(),
+        model=_model(),
+        eval_sets={"test": SUITE.datasets[2]},
+        config=FederatedConfig(
+            num_rounds=rounds, clients_per_round=4, seed=0,
+            **(config_kwargs or {}),
+        ),
+        executor=executor,
+    )
+    return server.run()
+
+
+def _trace(result):
+    """Per-round trace including the drop map, plus final accuracies —
+    what must stay invariant across every transport and engine."""
+    return (
+        [
+            (r.round_index, r.mean_local_loss, tuple(r.participants),
+             tuple(sorted(r.dropped.items())),
+             tuple(sorted(r.eval_accuracy.items())))
+            for r in result.history.records
+        ],
+        tuple(sorted(result.final_accuracy.items())),
+    )
+
+
+def _assert_same(reference, candidate, label=""):
+    assert _trace(candidate) == _trace(reference), (
+        f"{label} trace diverged from the reference"
+    )
+    for key in reference.final_state:
+        np.testing.assert_array_equal(
+            reference.final_state[key], candidate.final_state[key]
+        )
+
+
+def _drop_reasons(result):
+    return {
+        reason
+        for record in result.history.records
+        for reason in record.dropped.values()
+    }
+
+
+def run_remote(remote, rounds=3, config_kwargs=None, agents=2):
+    """Drive ``remote`` with in-process thread agents (the agent loop is
+    the same code the process entrypoint runs)."""
+    threads = [
+        threading.Thread(
+            target=run_agent, args=(remote.address,),
+            kwargs={"name": f"agent-{i}"}, daemon=True,
+        )
+        for i in range(agents)
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        return run_once(remote, rounds=rounds, config_kwargs=config_kwargs)
+    finally:
+        remote.close()
+        for thread in threads:
+            thread.join(timeout=10)
+
+
+# -- frames --------------------------------------------------------------------
+
+
+class TestFrames:
+    def test_one_byte_fragmentation_roundtrip(self):
+        """Worst-case kernel delivery: one byte per feed, across several
+        back-to-back frames (including an empty payload)."""
+        payloads = [b"", b"x", os.urandom(257), b"tail"]
+        wire = b"".join(encode_frame(p) for p in payloads)
+        decoder = FrameDecoder()
+        out = []
+        for i in range(len(wire)):
+            out.extend(decoder.feed(wire[i : i + 1]))
+        assert out == payloads
+        assert decoder.pending_bytes == 0
+
+    def test_batched_feed_yields_all_frames(self):
+        decoder = FrameDecoder()
+        wire = encode_frame(b"a") + encode_frame(b"bb")
+        assert decoder.feed(wire) == [b"a", b"bb"]
+
+    def test_oversized_header_rejected(self):
+        decoder = FrameDecoder()
+        with pytest.raises(FrameError, match="cap"):
+            decoder.feed(struct.pack(">I", MAX_FRAME_BYTES + 1))
+
+    def test_recv_frame_mid_frame_eof_raises(self):
+        a, b = socket.socketpair()
+        a.sendall(encode_frame(b"hello")[:3])
+        a.close()
+        with pytest.raises(FrameError, match="mid-frame"):
+            recv_frame(b)
+        b.close()
+
+    def test_recv_frame_clean_eof_is_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        assert recv_frame(b) is None
+        b.close()
+
+    def test_recv_frame_rejects_pipelined_peer(self):
+        a, b = socket.socketpair()
+        a.sendall(encode_frame(b"one") + encode_frame(b"two"))
+        with pytest.raises(FrameError, match="pipelined"):
+            recv_frame(b)
+        a.close()
+        b.close()
+
+    def test_frame_stream_tolerates_pipelined_peer(self):
+        a, b = socket.socketpair()
+        a.sendall(encode_frame(b"one") + encode_frame(b"two"))
+        stream = FrameStream(b)
+        assert stream.next_frame() == b"one"
+        assert stream.buffered  # second frame already decoded
+        assert stream.next_frame() == b"two"
+        assert not stream.buffered
+        a.close()
+        assert stream.next_frame() is None
+        b.close()
+
+
+# -- handshake -----------------------------------------------------------------
+
+
+class TestHandshake:
+    def test_message_roundtrip(self):
+        message = decode_message(
+            encode_message(TASK, {"task": 3}, b"payload")
+        )
+        assert (message.kind, message.meta, message.blob) == (
+            TASK, {"task": 3}, b"payload"
+        )
+
+    def test_version_mismatch_rejected(self):
+        reason = evaluate_hello(
+            {"version": 0}, codec_spec="identity", compute_spec="loop"
+        )
+        assert reason is not None and "version" in reason
+
+    def test_codec_pin_mismatch_rejected(self):
+        meta = hello_meta(codec="fp16")
+        reason = evaluate_hello(
+            meta, codec_spec="identity", compute_spec="loop"
+        )
+        assert reason is not None and "codec" in reason
+
+    def test_compute_pin_mismatch_rejected(self):
+        meta = hello_meta(compute="loop")
+        reason = evaluate_hello(
+            meta, codec_spec="identity", compute_spec="ensemble"
+        )
+        assert reason is not None and "compute" in reason
+
+    def test_matching_pins_accepted(self):
+        meta = hello_meta(name="a", codec="delta", compute="loop")
+        assert evaluate_hello(
+            meta, codec_spec="delta", compute_spec="loop"
+        ) is None
+
+    def test_live_rejections_then_good_agent_joins(self):
+        """A rejected agent (pin mismatch or wrong protocol version) must
+        not poison the federation: the listener keeps accepting and a
+        conforming agent completes the run."""
+        remote = RemoteExecutor(num_agents=1)
+        box = {}
+
+        def serve():
+            try:
+                box["result"] = run_once(remote, rounds=1)
+            except BaseException as exc:  # surfaced by the final assert
+                box["error"] = exc
+
+        server = threading.Thread(target=serve, daemon=True)
+        server.start()
+        with pytest.raises(HandshakeError, match="codec"):
+            run_agent(remote.address, codec="fp16")
+        with socket.create_connection(remote.address, timeout=10) as sock:
+            stream = FrameStream(sock)
+            stream.send(encode_message(HELLO, {"version": 99, "name": "old"}))
+            message = decode_message(stream.next_frame())
+            assert message.kind == REJECT
+            assert "version" in message.meta["reason"]
+        good = threading.Thread(
+            target=run_agent, args=(remote.address,), daemon=True
+        )
+        good.start()
+        server.join(timeout=120)
+        remote.close()
+        good.join(timeout=10)
+        assert "result" in box, box.get("error")
+
+
+# -- the tcp transport (ParallelExecutor wire) ---------------------------------
+
+
+class TestTcpTransport:
+    def test_parse_endpoint_forms(self):
+        assert parse_endpoint(None) == ("127.0.0.1", 0)
+        assert parse_endpoint("9999") == ("127.0.0.1", 9999)
+        assert parse_endpoint("0.0.0.0:80") == ("0.0.0.0", 80)
+        with pytest.raises(ValueError):
+            parse_endpoint("host:notaport")
+        with pytest.raises(ValueError):
+            parse_endpoint("host:70000")
+
+    def test_spec_forms(self):
+        assert TcpTransport().spec == "tcp"
+        assert TcpTransport("127.0.0.1:0").spec == "tcp:127.0.0.1:0"
+        assert isinstance(make_transport("tcp"), TcpTransport)
+
+    def test_publish_fetch_upload_roundtrip(self):
+        server_side = TcpTransport()
+        worker_side = TcpTransport()
+        blob = os.urandom(4096)
+        try:
+            handle = server_side.publish(blob)
+            assert isinstance(handle, TcpHandle)
+            assert handle.length == len(blob)
+            assert worker_side.fetch(handle) == blob
+            upload = worker_side.send_upload(b"u" * 512)
+            assert len(upload) < 64  # a marker, not the blob
+            assert server_side.recv_upload(upload) == b"u" * 512
+        finally:
+            worker_side.close()
+            server_side.close()
+
+    def test_end_round_kills_zombie_fetch(self):
+        """Round end clears the blob store, so a zombie fetching a dead
+        round's broadcast fails exactly like attaching an unlinked shm
+        segment: a ConnectionError in the zombie's own worker."""
+        server_side = TcpTransport()
+        worker_side = TcpTransport()
+        try:
+            handle = server_side.publish(b"x" * 64)
+            server_side.end_round()
+            with pytest.raises(ConnectionError):
+                worker_side.fetch(handle)
+        finally:
+            worker_side.close()
+            server_side.close()
+
+    def test_upload_falls_back_inline_when_server_gone(self):
+        server_side = TcpTransport()
+        worker_side = TcpTransport()
+        try:
+            handle = server_side.publish(b"y" * 32)
+            worker_side.fetch(handle)
+        finally:
+            server_side.close()
+        assert worker_side.send_upload(b"late") == b"late"
+        assert server_side.recv_upload(b"late") == b"late"
+
+    def test_fetch_rejects_foreign_handles(self):
+        transport = TcpTransport()
+        with pytest.raises(TypeError):
+            transport.fetch(b"a pipe blob")
+
+
+class TestRegistry:
+    def test_tcp_is_registered(self):
+        assert "tcp" in transport_specs()
+
+    def test_unknown_spec_error_enumerates_every_form(self):
+        with pytest.raises(ValueError, match=r"tcp\[:host:port\]"):
+            make_transport("avian")
+        with pytest.raises(ValueError, match=r"'auto', 'pipe', 'shm'"):
+            resolve_transport("avian")
+
+    def test_params_on_plain_transport_rejected(self):
+        with pytest.raises(ValueError, match="takes no parameters"):
+            resolve_transport("pipe:9999")
+
+    def test_make_executor_error_enumerates_specs(self):
+        with pytest.raises(ValueError, match=r"tcp\[:host:port\]"):
+            make_executor("parallel", workers=2, transport="avian")
+
+    def test_auto_degrade_logs_reason_once(self):
+        import repro.fl.transport as transport_module
+
+        records = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        # The repro logger doesn't propagate to root (caplog can't see
+        # it), so capture on the module logger directly.
+        handler = Capture(level=logging.WARNING)
+        transport_module._log.addHandler(handler)
+        was_logged = transport_module._DEGRADE_LOGGED
+        transport_module._DEGRADE_LOGGED = False
+        try:
+            assert resolve_transport("auto", supported=False) == "pipe"
+            assert resolve_transport("auto", supported=False) == "pipe"
+        finally:
+            transport_module._DEGRADE_LOGGED = was_logged
+            transport_module._log.removeHandler(handler)
+        degrades = [
+            record for record in records
+            if "degrading shm -> pipe" in record.getMessage()
+        ]
+        assert len(degrades) == 1
+
+
+class TestTcpTransportInvariance:
+    """Acceptance: parallel+tcp traces bit-identically to serial (and so,
+    transitively with the transport tests, to pipe and shm) under both
+    lossless codecs — in clean rounds, under the chaos plan with a
+    deadline, and on a Byzantine leg with a robust aggregator."""
+
+    @pytest.mark.parametrize("codec", ["identity", "delta"])
+    def test_clean_rounds_match_serial_and_pipe(self, codec):
+        serial = run_once(
+            SerialExecutor(codec=codec), config_kwargs={"codec": codec}
+        )
+        for transport in ["tcp"] + ["pipe"] + (
+            ["shm"] if shm_supported() else []
+        ):
+            with ParallelExecutor(
+                num_workers=2, codec=codec, transport=transport
+            ) as executor:
+                candidate = run_once(executor, config_kwargs={"codec": codec})
+            _assert_same(serial, candidate, f"{transport}/{codec}")
+
+    @pytest.mark.parametrize("codec", ["identity", "delta"])
+    def test_chaos_with_deadline_matches_serial(self, codec):
+        serial = run_once(
+            SerialExecutor(codec=codec, faults=CHAOS_PLAN, deadline=30.0),
+            config_kwargs={"codec": codec},
+        )
+        assert "crash" in _drop_reasons(serial)
+        with ParallelExecutor(
+            num_workers=2, codec=codec, transport="tcp",
+            faults=CHAOS_PLAN, deadline=30.0,
+        ) as executor:
+            candidate = run_once(executor, config_kwargs={"codec": codec})
+        _assert_same(serial, candidate, f"tcp/{codec} chaos")
+
+    def test_byzantine_leg_matches_serial(self):
+        plan = FaultPlan(seed=11, corrupt_rate=0.3)
+        serial = run_once(
+            SerialExecutor(faults=plan),
+            config_kwargs={"aggregator": "median"},
+        )
+        assert "corrupt" in _drop_reasons(serial)
+        with ParallelExecutor(
+            num_workers=2, transport="tcp", faults=plan
+        ) as executor:
+            candidate = run_once(
+                executor, config_kwargs={"aggregator": "median"}
+            )
+        _assert_same(serial, candidate, "tcp byzantine")
+
+
+# -- the remote executor -------------------------------------------------------
+
+
+class TestRemoteExecutor:
+    _serial_cache = {}
+
+    @classmethod
+    def _serial(cls, codec):
+        if codec not in cls._serial_cache:
+            cls._serial_cache[codec] = run_once(
+                SerialExecutor(codec=codec), config_kwargs={"codec": codec}
+            )
+        return cls._serial_cache[codec]
+
+    @pytest.mark.parametrize("pipelined", [True, False])
+    @pytest.mark.parametrize("codec", ["identity", "delta"])
+    def test_trace_matches_serial(self, codec, pipelined):
+        remote = RemoteExecutor(num_agents=2, codec=codec, pipelined=pipelined)
+        result = run_remote(remote, config_kwargs={"codec": codec})
+        _assert_same(
+            self._serial(codec), result,
+            f"remote/{codec}/{'pipelined' if pipelined else 'unpipelined'}",
+        )
+
+    def test_chaos_trace_matches_serial(self):
+        serial = run_once(SerialExecutor(faults=CHAOS_PLAN, deadline=30.0))
+        assert "crash" in _drop_reasons(serial)
+        remote = RemoteExecutor(num_agents=2, faults=CHAOS_PLAN, deadline=30.0)
+        result = run_remote(remote)
+        _assert_same(serial, result, "remote chaos")
+
+    def test_edge_topology_matches_flat_mean(self):
+        """Two agents + the two-tier edge topology must land bitwise on
+        flat weighted mean (the topology invariant, now across sockets)."""
+        flat = run_once(SerialExecutor())
+        remote = RemoteExecutor(num_agents=2)
+        result = run_remote(remote, config_kwargs={"topology": "edge:2"})
+        _assert_same(flat, result, "remote edge:2")
+
+    def test_unpipelined_reports_zero_overlap(self):
+        remote = RemoteExecutor(num_agents=2, pipelined=False)
+        result = run_remote(remote)
+        assert result.timing.pipeline_overlap_seconds == 0.0
+
+    def test_rejects_zero_agents(self):
+        with pytest.raises(ValueError):
+            RemoteExecutor(num_agents=0)
+
+
+class TestDisconnect:
+    def test_mid_round_disconnect_never_wedges_round_close(self):
+        """Regression: an agent that dies after accepting a task (its
+        upload never arrives) is a typed ``"disconnect"`` drop; the round
+        closes over the survivors and later rounds re-home its clients."""
+        assert "disconnect" in DROP_REASONS
+        remote = RemoteExecutor(num_agents=2)
+
+        def saboteur():
+            sock = socket.create_connection(remote.address, timeout=30)
+            stream = FrameStream(sock)
+            stream.send(encode_message(HELLO, hello_meta(name="saboteur")))
+            frame = stream.next_frame()
+            if frame is None or decode_message(frame).kind != WELCOME:
+                sock.close()
+                return
+            while True:
+                frame = stream.next_frame()
+                if frame is None:
+                    break
+                if decode_message(frame).kind == TASK:
+                    break  # vanish mid-round: task accepted, upload never sent
+            sock.close()
+
+        sab = threading.Thread(target=saboteur, daemon=True)
+        good = threading.Thread(
+            target=run_agent, args=(remote.address,),
+            kwargs={"name": "survivor"}, daemon=True,
+        )
+        sab.start()
+        good.start()
+        try:
+            result = run_once(remote, rounds=3)
+        finally:
+            remote.close()
+        sab.join(timeout=10)
+        good.join(timeout=10)
+        assert len(result.history.records) == 3  # no round wedged
+        assert "disconnect" in _drop_reasons(result)
+        # After the disconnect round every participant trains again.
+        assert result.history.records[-1].participants
+
+
+# -- the run-trace digest ------------------------------------------------------
+
+
+class TestTraceDict:
+    def test_equal_runs_equal_digests(self):
+        first = run_once(SerialExecutor(), rounds=2)
+        second = run_once(SerialExecutor(), rounds=2)
+        assert trace_dict(first) == trace_dict(second)
+        # JSON-safe and lossless through a round-trip.
+        assert json.loads(json.dumps(trace_dict(first))) == trace_dict(first)
+
+    def test_different_runs_differ(self):
+        short = run_once(SerialExecutor(), rounds=1)
+        long = run_once(SerialExecutor(), rounds=2)
+        assert trace_dict(short) != trace_dict(long)
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+class TestCLIKnob:
+    def test_parameterized_tcp_spec_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["lodo", "--suite", "pacs", "--method", "fedavg",
+             "--transport", "tcp:127.0.0.1:0"]
+        )
+        assert args.transport == "tcp:127.0.0.1:0"
+
+    def test_bad_tcp_endpoint_is_a_usage_error(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["lodo", "--suite", "pacs", "--method", "fedavg",
+                 "--transport", "tcp:127.0.0.1:notaport"]
+            )
+
+    def test_params_on_plain_transport_is_a_usage_error(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["lodo", "--suite", "pacs", "--method", "fedavg",
+                 "--transport", "pipe:9999"]
+            )

@@ -110,7 +110,7 @@ def _round_seeds(clients, rounds=1):
 
 class TestRegistry:
     def test_specs(self):
-        assert set(transport_specs()) == {"pipe", "shm"}
+        assert set(transport_specs()) == {"pipe", "shm", "tcp"}
 
     def test_make_kinds(self):
         assert isinstance(make_transport("pipe"), PipeTransport)
