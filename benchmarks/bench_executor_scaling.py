@@ -59,6 +59,13 @@ aggregation cost.  Shape to check: the mean collapses under attack while
 the robust rules hold near their own clean accuracy at millisecond
 aggregation cost.  The sweep is also written as ``BENCH_robust.json``.
 
+The eighth table measures the objective-driven strategies
+(``repro.nn.objective``): final accuracy and local-compute overhead per
+method (fedavg, fedsr, fpl, fedalign, fedccrl) on the same serial
+session.  Shape to check: each method's extra terms/views/payload sweeps
+cost a small constant factor over FedAvg, not a blowup.  The sweep is
+also written as ``BENCH_strategies.json``.
+
 Run directly for the full table, or with ``--smoke`` for the CI-scale
 variant (fast data scale, workers {1, 2}); either way, legs whose wire
 transport is unavailable on the host (shm on shm-less runners) are
@@ -71,7 +78,10 @@ loop-vs-ensemble trace identity), ``--faults SPEC`` (with an optional
 ``--deadline``) runs it under that fault plan — the CI chaos legs use it
 to check that a faulty trace stays engine-invariant end to end — and
 ``--aggregator SPEC`` runs it under that aggregation rule (the CI
-byzantine legs pair it with a Byzantine fault plan).
+byzantine legs pair it with a Byzantine fault plan), and ``--strategy
+NAME`` runs it under that training strategy (the CI strategy legs pin
+the sibling FedDG methods' serial/parallel trace identity per
+transport).
 """
 
 from __future__ import annotations
@@ -89,7 +99,13 @@ import numpy as np
 
 from common import bench_rounds, emit, emit_json, is_fast_mode, samples_per_class
 
-from repro.baselines import FedAvgStrategy
+from repro.baselines import (
+    FedAlignStrategy,
+    FedAvgStrategy,
+    FedCCRLStrategy,
+    FedSRStrategy,
+    FPLStrategy,
+)
 from repro.core import PardonStrategy
 from repro.data import synthetic_pacs, partition_clients
 from repro.data.synthetic import LabeledDataset
@@ -118,6 +134,24 @@ STRAGGLER_PLAN = "straggler=0.25:0.05,seed=3"
 #: The robust-table attack: a fifth of the cells upload a 100x-scaled
 #: update — the Byzantine mode that visibly drags a weighted mean.
 BYZANTINE_PLAN = "byzantine=0.2:scale,seed=7"
+#: The strategy-matrix legs and the per-strategy table draw from these
+#: objective-driven methods (the loop-level strategies have their own
+#: wire table above).
+STRATEGY_FACTORIES = {
+    "fedavg": lambda: FedAvgStrategy(LocalTrainingConfig(batch_size=32)),
+    "fedsr": lambda: FedSRStrategy(
+        local_config=LocalTrainingConfig(batch_size=32)
+    ),
+    "fpl": lambda: FPLStrategy(
+        local_config=LocalTrainingConfig(batch_size=32)
+    ),
+    "fedalign": lambda: FedAlignStrategy(
+        local_config=LocalTrainingConfig(batch_size=32)
+    ),
+    "fedccrl": lambda: FedCCRLStrategy(
+        local_config=LocalTrainingConfig(batch_size=32)
+    ),
+}
 
 
 def _make_clients(suite):
@@ -179,7 +213,7 @@ def _trace_of(result):
 
 def _run(
     suite, worker_grid, codec="identity", transport="auto", faults=None,
-    deadline=None, compute="auto", aggregator="mean",
+    deadline=None, compute="auto", aggregator="mean", strategy="fedavg",
 ) -> str:
     rounds = bench_rounds(4)
     rows = []
@@ -188,7 +222,7 @@ def _run(
         result, _, _ = _run_with_workers(
             suite, rounds, workers, codec=codec, transport=transport,
             faults=faults, deadline=deadline, compute=compute,
-            aggregator=aggregator,
+            aggregator=aggregator, strategy=STRATEGY_FACTORIES[strategy](),
         )
         timing = result.timing
         trace = _trace_of(result)
@@ -222,6 +256,7 @@ def _run(
             f"codec={codec}, transport={transport}, compute={compute}"
             + (f", faults={faults}" if faults else "")
             + (f", aggregator={aggregator}" if aggregator != "mean" else "")
+            + (f", strategy={strategy}" if strategy != "fedavg" else "")
         ),
     )
 
@@ -733,6 +768,72 @@ def _run_robust(suite) -> str:
     )
 
 
+def _run_strategies(suite) -> str:
+    """Accuracy and local-compute overhead per objective-driven strategy.
+
+    Each strategy runs the same serial session as the scaling table's
+    baseline; reported per row: final unseen-domain accuracy, its delta
+    against FedAvg, the local-training wall clock per round, and the
+    overhead factor over FedAvg — what each method's extra objective
+    terms, second views, and payload sweeps actually cost.  Shape to
+    check: the sibling methods land within a small constant factor of
+    FedAvg (their terms are vectorized batch math, not per-sample
+    Python), and no method collapses below FedAvg at this scale.  The
+    sweep is also written as ``BENCH_strategies.json``.
+    """
+    rounds = max(3, bench_rounds(4))
+    rows = []
+    payload = {
+        "rounds": rounds,
+        "baseline": "fedavg",
+        "unit": "test_accuracy",
+        "sweep": [],
+    }
+    baseline_acc = baseline_wall = None
+    for name in STRATEGY_FACTORIES:
+        result, _, _ = _run_with_workers(
+            suite, rounds, 1, strategy=STRATEGY_FACTORIES[name]()
+        )
+        accuracy = result.final_accuracy["test"]
+        wall = result.timing.local_train_wall_seconds_total / rounds
+        if baseline_acc is None:
+            baseline_acc, baseline_wall = accuracy, wall
+        rows.append(
+            [
+                name,
+                f"{accuracy:.3f}",
+                f"{accuracy - baseline_acc:+.3f}",
+                f"{wall:.2f}",
+                f"x{wall / baseline_wall:.2f}",
+            ]
+        )
+        payload["sweep"].append(
+            {
+                "strategy": name,
+                "test_accuracy": round(accuracy, 4),
+                "accuracy_vs_fedavg": round(accuracy - baseline_acc, 4),
+                "local_wall_s_per_round": round(wall, 4),
+                "overhead_vs_fedavg": round(wall / baseline_wall, 3),
+            }
+        )
+    emit_json("strategies", payload)
+    return format_table(
+        [
+            "Strategy",
+            "test acc",
+            "vs fedavg",
+            "local wall (s/round)",
+            "overhead",
+        ],
+        rows,
+        title=(
+            f"Strategies — accuracy and local-compute overhead vs FedAvg "
+            f"({rounds} rounds, {CLIENTS_PER_ROUND}/{NUM_CLIENTS} clients, "
+            f"serial)"
+        ),
+    )
+
+
 def _net_transport_rounds(suite, transport: str, codec: str, rounds: int):
     """Run one 2-worker engine configuration for the networking sweep;
     returns (wire stats, per-round wall seconds)."""
@@ -1065,16 +1166,16 @@ def _run_scale() -> str:
 
 def _tables(suite, worker_grid, codec="identity", transport="auto",
             faults=None, deadline=None, compute="auto", aggregator="mean",
-            extra_tables=True) -> str:
+            strategy="fedavg", extra_tables=True) -> str:
     """``extra_tables=False`` keeps non-default CI matrix legs to the
-    scaling table alone — the wire, codec, transport, fault, and robust
-    sweeps are independent of the matrix axis and would only duplicate
-    the default leg's output."""
+    scaling table alone — the wire, codec, transport, fault, robust, and
+    strategy sweeps are independent of the matrix axis and would only
+    duplicate the default leg's output."""
     parts = [
         _run(
             suite, worker_grid, codec=codec, transport=transport,
             faults=faults, deadline=deadline, compute=compute,
-            aggregator=aggregator,
+            aggregator=aggregator, strategy=strategy,
         )
     ]
     if extra_tables:
@@ -1084,6 +1185,7 @@ def _tables(suite, worker_grid, codec="identity", transport="auto",
         parts.append(_run_faults_table(suite, worker_grid))
         parts.append(_run_compute(worker_grid))
         parts.append(_run_robust(suite))
+        parts.append(_run_strategies(suite))
         parts.append(_run_net(suite))
         parts.append(_run_scale())
     return "\n\n".join(parts)
@@ -1130,6 +1232,11 @@ if __name__ == "__main__":
         "--deadline", type=float, default=None,
         help="per-round wall-clock budget in seconds for the scaling table",
     )
+    parser.add_argument(
+        "--strategy", default="fedavg", choices=sorted(STRATEGY_FACTORIES),
+        help="strategy for the scaling table (the CI strategy legs pin the "
+        "sibling methods' serial/parallel trace identity per transport)",
+    )
     args = parser.parse_args()
     if args.transport == "shm" and not shm_supported():
         # A CI matrix leg may land on a host without the shared-memory
@@ -1152,21 +1259,25 @@ if __name__ == "__main__":
         name += "_faults"
     if args.aggregator != "mean":
         name += f"_{args.aggregator.replace('(', '_').replace(')', '').replace('+', '_').replace(', ', '_')}"
+    if args.strategy != "fedavg":
+        name += f"_{args.strategy}"
     emit(
         name,
         _tables(
             suite, grid, codec=args.codec, transport=args.transport,
             faults=args.faults, deadline=args.deadline, compute=args.compute,
-            aggregator=args.aggregator,
+            aggregator=args.aggregator, strategy=args.strategy,
             # The sweep tables are leg-independent (the transport sweep runs
             # both transports itself, the compute sweep both backends, the
-            # fault sweep both fault settings, the robust sweep all rules);
-            # run them on the local default (auto) and on exactly one CI
-            # matrix leg (identity + pipe + auto, no chaos).
+            # fault sweep both fault settings, the robust sweep all rules,
+            # the strategy sweep all methods); run them on the local default
+            # (auto) and on exactly one CI matrix leg (identity + pipe +
+            # auto, no chaos, fedavg).
             extra_tables=args.codec == "identity"
             and args.transport in ("auto", "pipe")
             and args.compute == "auto"
             and args.faults is None
-            and args.aggregator == "mean",
+            and args.aggregator == "mean"
+            and args.strategy == "fedavg",
         ),
     )

@@ -1,5 +1,7 @@
-"""``repro.baselines`` — the five SOTA FedDG baselines the paper compares
-against, plus plain FedAvg.
+"""``repro.baselines`` — the SOTA FedDG baselines the paper compares
+against, plus plain FedAvg and the sibling methods from PAPERS.md's survey
+(FedAlign, FedCCRL) that stress the ``ClientUpdate`` payload path beyond
+FPL's prototypes.
 
 Each is a :class:`repro.fl.Strategy`, so any of them drops into the same
 simulation loop and benchmark harness as PARDON.
@@ -12,6 +14,8 @@ from repro.baselines.fpl import FPLStrategy
 from repro.baselines.feddg_ga import FedDGGAStrategy
 from repro.baselines.ccst import CCSTStrategy, StyleBankEntry
 from repro.baselines.mixstyle import MixStyleStrategy
+from repro.baselines.fedalign import FedAlignStrategy
+from repro.baselines.fedccrl import FedCCRLStrategy
 
 __all__ = [
     "FedAvgStrategy",
@@ -22,4 +26,6 @@ __all__ = [
     "CCSTStrategy",
     "StyleBankEntry",
     "MixStyleStrategy",
+    "FedAlignStrategy",
+    "FedCCRLStrategy",
 ]

@@ -105,15 +105,13 @@ class CCSTStrategy(Strategy):
             if entry.client_id != client_id
         ]
 
-    def local_update(
+    def train_client(
         self,
         client: Client,
         model: FeatureClassifierModel,
         round_index: int,
         rng: np.random.Generator,
     ) -> ClientUpdate:
-        if client.num_samples == 0:
-            return ClientUpdate.from_client(client, model.state_dict(), 0.0)
         images = client.dataset.images
         labels = client.dataset.labels
         foreign = self._foreign_styles(client.client_id)

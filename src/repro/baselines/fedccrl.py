@@ -1,0 +1,135 @@
+"""FedCCRL: federated cross-client representation learning (per PAPERS.md's
+sibling-method survey).
+
+FedCCRL combines two representation-level pressures on top of supervised
+training:
+
+* **augmentation consistency** — each batch runs a second, generically
+  augmented view (noise + circular shifts, the same pipeline PARDON's v4
+  ablation uses) through the shared feature extractor in one concatenated
+  forward, and a quadratic consistency term pulls the two views' embeddings
+  together, with cross-entropy supervising *both* views;
+* **cross-client alignment** — clients upload per-class representation
+  statistics ``(mean, mean-of-squares, count)`` in ``ClientUpdate.payload``;
+  the server fuses them into global per-class targets (count-weighted, or
+  the aggregation rule's robust vector reduction) and re-broadcasts, and the
+  ``align`` term pulls embeddings of both views toward their class target.
+
+The second moment rides along so the server can report per-class
+representation spread (:meth:`FedCCRLStrategy.target_spread`) — the
+quantity FedCCRL's alignment is meant to shrink — without another upload
+channel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.transforms import standard_augmentation
+from repro.fl.client import Client
+from repro.fl.executor import ClientUpdate
+from repro.fl.strategy import LocalTrainingConfig, Strategy
+from repro.nn.objective import (
+    CompositeObjective,
+    CrossEntropyTerm,
+    FeatureAlignTerm,
+)
+
+__all__ = ["FedCCRLStrategy"]
+
+
+class FedCCRLStrategy(Strategy):
+    """FedCCRL: two-view CE + augmentation consistency + global alignment."""
+
+    name = "fedccrl"
+
+    def __init__(
+        self,
+        consistency_weight: float = 0.5,
+        align_weight: float = 0.25,
+        local_config: LocalTrainingConfig | None = None,
+    ) -> None:
+        super().__init__(local_config)
+        if consistency_weight < 0 or align_weight < 0:
+            raise ValueError("term weights must be non-negative")
+        self.consistency_weight = consistency_weight
+        self.align_weight = align_weight
+        # class id -> (embed_dim,) fused representation target; second
+        # moments and counts ride along for spread reporting.
+        self.global_targets: dict[int, np.ndarray] = {}
+        self.global_sqmeans: dict[int, np.ndarray] = {}
+        self.objective = CompositeObjective(
+            [
+                ("ce", 1.0, CrossEntropyTerm(all_views=True)),
+                ("consistency", consistency_weight),
+                ("align", align_weight, FeatureAlignTerm("align_targets")),
+            ]
+        )
+
+    # -- client side ----------------------------------------------------------
+
+    def local_views(
+        self, client: Client, rng: np.random.Generator
+    ) -> np.ndarray:
+        # Drawn fresh each round, before any batch permutation — the same
+        # randomness discipline as PARDON's v4 augmentation positives.
+        return standard_augmentation()(client.dataset.images, rng)
+
+    def objective_context(self, client: Client) -> dict:
+        return {"align_targets": self.global_targets}
+
+    def payload_from_embeddings(
+        self, client: Client, embeddings: np.ndarray, labels: np.ndarray
+    ) -> dict:
+        stats = {}
+        for label in np.unique(labels):
+            rows = embeddings[labels == label]
+            stats[int(label)] = (
+                rows.mean(axis=0),
+                np.mean(rows**2, axis=0),
+                int(rows.shape[0]),
+            )
+        return {"repr_stats": stats}
+
+    # -- server side ----------------------------------------------------------
+
+    def fuse_payloads(self, updates: list[ClientUpdate], round_index: int) -> None:
+        per_class: dict[int, list[tuple[np.ndarray, np.ndarray, int]]] = {}
+        for update in updates:
+            for label, stat in update.payload.get("repr_stats", {}).items():
+                per_class.setdefault(int(label), []).append(stat)
+        for label, stats in per_class.items():
+            means = np.stack([mean for mean, _, _ in stats])
+            sqmeans = np.stack([sq for _, sq, _ in stats])
+            if self.aggregator.robust:
+                self.global_targets[label] = self.aggregator.reduce_vectors(
+                    means
+                )
+                self.global_sqmeans[label] = self.aggregator.reduce_vectors(
+                    sqmeans
+                )
+            else:
+                counts = np.array(
+                    [count for _, _, count in stats], dtype=float
+                )
+                self.global_targets[label] = np.average(
+                    means, axis=0, weights=counts
+                )
+                self.global_sqmeans[label] = np.average(
+                    sqmeans, axis=0, weights=counts
+                )
+
+    def target_spread(self) -> dict[int, float]:
+        """Mean per-class representation variance implied by the fused
+        first and second moments (``E[x^2] - E[x]^2``, clipped at zero)."""
+        return {
+            label: float(
+                np.mean(
+                    np.maximum(
+                        self.global_sqmeans[label] - target**2, 0.0
+                    )
+                )
+            )
+            for label, target in self.global_targets.items()
+            if label in self.global_sqmeans
+        }

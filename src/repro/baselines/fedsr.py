@@ -8,6 +8,11 @@ information bound; we use the in-batch class mean with stop-gradient as the
 reference, which preserves the regularizer's geometry without FedSR's
 probabilistic encoder).
 
+Both regularizers live in the objective registry (``embed_l2`` /
+``class_align`` in :mod:`repro.nn.objective`), so FedSR's whole client step
+is its term list — the generic runners supply the loop, and the ensemble
+compute backend applies for free.
+
 The paper's Tables I–III show FedSR collapsing to chance accuracy when data
 per client is small — the regularizers overwhelm the scarce task signal —
 and this implementation reproduces that failure mode.
@@ -15,13 +20,8 @@ and this implementation reproduces that failure mode.
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.fl.client import Client
-from repro.fl.executor import ClientUpdate
 from repro.fl.strategy import LocalTrainingConfig, Strategy
-from repro.nn.losses import CrossEntropyLoss
-from repro.nn.models import FeatureClassifierModel
+from repro.nn.objective import CompositeObjective
 
 __all__ = ["FedSRStrategy"]
 
@@ -42,63 +42,10 @@ class FedSRStrategy(Strategy):
             raise ValueError("regularizer weights must be non-negative")
         self.l2_weight = l2_weight
         self.cmi_weight = cmi_weight
-
-    def local_update(
-        self,
-        client: Client,
-        model: FeatureClassifierModel,
-        round_index: int,
-        rng: np.random.Generator,
-    ) -> ClientUpdate:
-        if client.num_samples == 0:
-            return ClientUpdate.from_client(client, model.state_dict(), 0.0)
-        images = client.dataset.images
-        labels = client.dataset.labels
-        model.train()
-        optimizer = self.local_config.make_optimizer(model)
-        criterion = CrossEntropyLoss()
-        losses: list[float] = []
-        n = images.shape[0]
-        for _ in range(self.local_config.local_epochs):
-            order = rng.permutation(n)
-            for start in range(0, n, self.local_config.batch_size):
-                idx = order[start : start + self.local_config.batch_size]
-                batch_images, batch_labels = images[idx], labels[idx]
-                batch = batch_images.shape[0]
-
-                model.zero_grad()
-                embeddings = model.forward_features(batch_images)
-                logits = model.forward_logits(embeddings)
-                ce_loss = criterion.forward(logits, batch_labels)
-                grad_logits = criterion.backward()
-
-                grad_embedding = np.zeros_like(embeddings)
-                reg_loss = 0.0
-                if self.l2_weight > 0:
-                    reg_loss += self.l2_weight * float(
-                        np.mean(np.sum(embeddings**2, axis=1))
-                    )
-                    grad_embedding += self.l2_weight * 2.0 * embeddings / batch
-                if self.cmi_weight > 0:
-                    # Class-conditional alignment to the in-batch class mean
-                    # (reference treated as constant).
-                    references = np.empty_like(embeddings)
-                    for label in np.unique(batch_labels):
-                        mask = batch_labels == label
-                        references[mask] = embeddings[mask].mean(axis=0)
-                    deviation = embeddings - references
-                    reg_loss += self.cmi_weight * float(
-                        np.mean(np.sum(deviation**2, axis=1))
-                    )
-                    grad_embedding += self.cmi_weight * 2.0 * deviation / batch
-
-                model.backward(
-                    grad_logits=grad_logits, grad_embedding=grad_embedding
-                )
-                optimizer.step()
-                losses.append(ce_loss + reg_loss)
-        return ClientUpdate.from_client(
-            client,
-            model.state_dict(),
-            float(np.mean(losses)) if losses else 0.0,
+        self.objective = CompositeObjective(
+            [
+                ("ce", 1.0),
+                ("embed_l2", l2_weight),
+                ("class_align", cmi_weight),
+            ]
         )

@@ -8,6 +8,13 @@ averaging at the cluster level.  Clients then regularize local training by
 a prototype-contrastive term: each embedding is pulled toward its class's
 global prototype and pushed from the others via an InfoNCE head over
 negative squared distances (prototypes treated as constants).
+
+The client step is declarative: the ``proto_nce`` objective term
+(:func:`repro.nn.objective.prototype_nce`) reads the fused prototypes from
+the step context, the generic payload sweep distills per-class means, and
+:meth:`FPLStrategy.fuse_payloads` merges them server-side — which also
+means FPL now streams (it no longer overrides ``aggregate``; payloads
+survive the streaming fold, only upload states are freed).
 """
 
 from __future__ import annotations
@@ -18,12 +25,7 @@ from repro.clustering.finch import finch
 from repro.fl.client import Client
 from repro.fl.executor import ClientUpdate
 from repro.fl.strategy import LocalTrainingConfig, Strategy
-from repro.nn.ensemble import ensemble_cross_entropy, ensemble_state_dicts
-from repro.nn.functional import softmax
-from repro.nn.losses import CrossEntropyLoss
-from repro.nn.models import FeatureClassifierModel
-from repro.nn.module import Module
-from repro.nn.serialize import StateDict
+from repro.nn.objective import CompositeObjective, ProtoNCETerm, prototype_nce
 
 __all__ = ["FPLStrategy"]
 
@@ -48,196 +50,44 @@ class FPLStrategy(Strategy):
         self.temperature = temperature
         # class id -> (embed_dim,) unbiased global prototype
         self.global_prototypes: dict[int, np.ndarray] = {}
+        self.objective = CompositeObjective(
+            [
+                ("ce", 1.0),
+                ("proto_nce", proto_weight, ProtoNCETerm(temperature)),
+            ]
+        )
 
     # -- client side ----------------------------------------------------------
 
     def _prototype_gradient(
         self, embeddings: np.ndarray, labels: np.ndarray
     ) -> tuple[float, np.ndarray]:
-        """InfoNCE over cosine similarities to the global prototypes.
+        """The InfoNCE head against the current global prototypes
+        (kept as a method for direct inspection; the training loop runs
+        the same math through the ``proto_nce`` objective term)."""
+        return prototype_nce(
+            embeddings, labels, self.global_prototypes, self.temperature
+        )
 
-        Embeddings and prototypes are L2-normalized before the similarity —
-        FPL's contrastive head operates on the unit sphere, which also keeps
-        the regularizer bounded and numerically stable.  Returns
-        ``(loss, grad_wrt_embeddings)``.  Classes without a global prototype
-        yet (first round, or absent everywhere) are skipped.
-        """
-        known = sorted(self.global_prototypes)
-        if not known:
-            return 0.0, np.zeros_like(embeddings)
-        usable = np.isin(labels, known)
-        if not np.any(usable):
-            return 0.0, np.zeros_like(embeddings)
-        proto_matrix = np.stack([self.global_prototypes[c] for c in known])
-        proto_norms = np.linalg.norm(proto_matrix, axis=1, keepdims=True)
-        proto_unit = proto_matrix / np.maximum(proto_norms, 1e-12)
-        class_to_column = {c: i for i, c in enumerate(known)}
+    def objective_context(self, client: Client) -> dict:
+        return {"prototypes": self.global_prototypes}
 
-        z = embeddings[usable]
-        y = np.array([class_to_column[int(label)] for label in labels[usable]])
-        z_norms = np.linalg.norm(z, axis=1, keepdims=True)
-        z_unit = z / np.maximum(z_norms, 1e-12)
-        logits = z_unit @ proto_unit.T / self.temperature
-        probs = softmax(logits, axis=1)
-        count = z.shape[0]
-        loss = float(-np.mean(np.log(probs[np.arange(count), y] + 1e-12)))
-        grad_logits = probs.copy()
-        grad_logits[np.arange(count), y] -= 1.0
-        grad_logits /= count
-        # Chain through the normalization: d z_unit / d z projects out the
-        # radial component.
-        grad_unit = grad_logits @ proto_unit / self.temperature
-        radial = np.sum(grad_unit * z_unit, axis=1, keepdims=True)
-        grad_z = (grad_unit - radial * z_unit) / np.maximum(z_norms, 1e-12)
-        full_grad = np.zeros_like(embeddings)
-        full_grad[usable] = grad_z
-        return loss, full_grad
-
-    def local_update(
-        self,
-        client: Client,
-        model: FeatureClassifierModel,
-        round_index: int,
-        rng: np.random.Generator,
-    ) -> ClientUpdate:
-        if client.num_samples == 0:
-            return ClientUpdate.from_client(client, model.state_dict(), 0.0)
-        images = client.dataset.images
-        labels = client.dataset.labels
-        model.train()
-        optimizer = self.local_config.make_optimizer(model)
-        criterion = CrossEntropyLoss()
-        losses: list[float] = []
-        n = images.shape[0]
-        for _ in range(self.local_config.local_epochs):
-            order = rng.permutation(n)
-            for start in range(0, n, self.local_config.batch_size):
-                idx = order[start : start + self.local_config.batch_size]
-                model.zero_grad()
-                embeddings = model.forward_features(images[idx])
-                logits = model.forward_logits(embeddings)
-                ce_loss = criterion.forward(logits, labels[idx])
-                proto_loss, proto_grad = self._prototype_gradient(
-                    embeddings, labels[idx]
-                )
-                model.backward(
-                    grad_logits=criterion.backward(),
-                    grad_embedding=self.proto_weight * proto_grad,
-                )
-                optimizer.step()
-                losses.append(ce_loss + self.proto_weight * proto_loss)
-
+    def payload_from_embeddings(
+        self, client: Client, embeddings: np.ndarray, labels: np.ndarray
+    ) -> dict:
         # Upload this client's per-class prototypes alongside the weights —
         # explicit payload, never strategy mutation, so the update is valid
         # under any execution engine.
-        model.eval()
-        all_embeddings = []
-        for start in range(0, n, 256):
-            all_embeddings.append(
-                model.forward_features(images[start : start + 256])
-            )
-        embeddings = np.concatenate(all_embeddings, axis=0)
-        prototypes = {
-            int(label): embeddings[labels == label].mean(axis=0)
-            for label in np.unique(labels)
+        return {
+            "prototypes": {
+                int(label): embeddings[labels == label].mean(axis=0)
+                for label in np.unique(labels)
+            }
         }
-        model.train()
-        return ClientUpdate.from_client(
-            client,
-            model.state_dict(),
-            float(np.mean(losses)) if losses else 0.0,
-            payload={"prototypes": prototypes},
-        )
-
-    def ensemble_update(
-        self,
-        clients: list[Client],
-        emodel: Module,
-        round_index: int,
-        rngs: list[np.random.Generator],
-    ) -> list[ClientUpdate] | None:
-        """:meth:`local_update` over a ``(K, ...)`` client stack.
-
-        The model forward/backward — where virtually all the flops are —
-        runs fused over the stack.  The InfoNCE head stays per-slice: it
-        *compacts* each batch to the rows whose class has a global
-        prototype, and matching that compaction bitwise means running the
-        scalar head on each slice's embeddings (it is O(batch * classes *
-        embed_dim), noise next to one conv layer).  Randomness is consumed
-        in the loop path's order: one permutation per client per epoch.
-        """
-        config = self.local_config
-        stack = len(clients)
-        count = clients[0].num_samples
-        images = np.stack([client.dataset.images for client in clients])
-        labels = np.stack([client.dataset.labels for client in clients])
-        emodel.train()
-        optimizer = config.make_optimizer(emodel)
-        rows = np.arange(stack)[:, None]
-        batch_totals: list[np.ndarray] = []
-        for _ in range(config.local_epochs):
-            orders = np.stack([rng.permutation(count) for rng in rngs])
-            for start in range(0, count, config.batch_size):
-                indices = orders[:, start : start + config.batch_size]
-                batch_labels = labels[rows, indices]
-                emodel.zero_grad()
-                embeddings = emodel.forward_features(images[rows, indices])
-                logits = emodel.forward_logits(embeddings)
-                ce_losses, ce_grad = ensemble_cross_entropy(logits, batch_labels)
-                proto_losses = np.zeros(stack)
-                grad_embedding = np.zeros_like(embeddings)
-                for k in range(stack):
-                    proto_loss, proto_grad = self._prototype_gradient(
-                        embeddings[k], batch_labels[k]
-                    )
-                    proto_losses[k] = proto_loss
-                    grad_embedding[k] = self.proto_weight * proto_grad
-                emodel.backward(grad_logits=ce_grad, grad_embedding=grad_embedding)
-                optimizer.step()
-                batch_totals.append(ce_losses + self.proto_weight * proto_losses)
-
-        # Per-slice prototype extraction, mirroring the loop path's chunked
-        # eval-mode sweep (chunk boundaries line up because every client in
-        # the group holds the same number of samples).
-        emodel.eval()
-        all_embeddings = []
-        for start in range(0, count, 256):
-            all_embeddings.append(
-                emodel.forward_features(images[:, start : start + 256])
-            )
-        embeddings = np.concatenate(all_embeddings, axis=1)
-        payloads = []
-        for k in range(stack):
-            payloads.append(
-                {
-                    "prototypes": {
-                        int(label): embeddings[k][labels[k] == label].mean(axis=0)
-                        for label in np.unique(labels[k])
-                    }
-                }
-            )
-        emodel.train()
-        if batch_totals:
-            mean_losses = np.mean(np.stack(batch_totals, axis=1), axis=1)
-        else:
-            mean_losses = np.zeros(stack)
-        states = ensemble_state_dicts(emodel)
-        return [
-            ClientUpdate.from_client(client, state, float(loss), payload=payload)
-            for client, state, loss, payload in zip(
-                clients, states, mean_losses, payloads
-            )
-        ]
 
     # -- server side ------------------------------------------------------------
 
-    def aggregate(
-        self,
-        global_state: StateDict,
-        updates: list[ClientUpdate],
-        round_index: int,
-    ) -> StateDict:
-        new_state = super().aggregate(global_state, updates, round_index)
+    def fuse_payloads(self, updates: list[ClientUpdate], round_index: int) -> None:
         # Unbiased prototype fusion: cluster each class's client prototypes
         # (uploaded in the round's payloads), average inside clusters, then
         # average the cluster centres.
@@ -249,7 +99,6 @@ class FPLStrategy(Strategy):
             self.global_prototypes[label] = self._fuse_prototypes(
                 np.stack(prototypes)
             )
-        return new_state
 
     def _fuse_prototypes(self, matrix: np.ndarray) -> np.ndarray:
         """Fuse one class's ``(clients, dim)`` prototype matrix.

@@ -75,15 +75,13 @@ class MixStyleStrategy(Strategy):
         )
         return self.encoder.decode(restyled)
 
-    def local_update(
+    def train_client(
         self,
         client: Client,
         model: FeatureClassifierModel,
         round_index: int,
         rng: np.random.Generator,
     ) -> ClientUpdate:
-        if client.num_samples == 0:
-            return ClientUpdate.from_client(client, model.state_dict(), 0.0)
         images = client.dataset.images
         labels = client.dataset.labels
         model.train()

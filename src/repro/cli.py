@@ -26,7 +26,9 @@ from typing import Callable, Sequence
 
 from repro.baselines import (
     CCSTStrategy,
+    FedAlignStrategy,
     FedAvgStrategy,
+    FedCCRLStrategy,
     FedDGGAStrategy,
     FedGMAStrategy,
     FedSRStrategy,
@@ -34,7 +36,13 @@ from repro.baselines import (
 )
 from repro.baselines.mixstyle import MixStyleStrategy
 from repro.core import PardonStrategy
-from repro.data import synthetic_iwildcam, synthetic_office_home, synthetic_pacs
+from repro.data import (
+    synthetic_domain_sweep,
+    synthetic_iwildcam,
+    synthetic_office_home,
+    synthetic_pacs,
+    synthetic_skew,
+)
 from repro.eval import (
     ExperimentSetting,
     run_lodo_protocol,
@@ -48,6 +56,7 @@ from repro.fl.faults import make_deadline_policy, make_fault_plan
 from repro.fl.server import parse_topology
 from repro.fl.transport import make_transport, transport_usage
 from repro.fl.strategy import Strategy
+from repro.nn.objective import parse_objective_overrides
 from repro.utils.tables import format_percent, format_table
 
 __all__ = ["main", "METHODS", "SUITES"]
@@ -61,17 +70,22 @@ METHODS: dict[str, Callable[[], Strategy]] = {
     "ccst": CCSTStrategy,
     "mixstyle": MixStyleStrategy,
     "pardon": PardonStrategy,
+    "fedalign": FedAlignStrategy,
+    "fedccrl": FedCCRLStrategy,
 }
 
 SUITES = {
     "pacs": lambda seed: synthetic_pacs(seed=seed, samples_per_class=40),
     "office_home": lambda seed: synthetic_office_home(seed=seed, samples_per_class=6),
     "iwildcam": lambda seed: synthetic_iwildcam(seed=seed),
+    "domain_sweep": lambda seed: synthetic_domain_sweep(seed=seed),
+    "skew": lambda seed: synthetic_skew(seed=seed),
 }
 
 
 def _setting_from_args(args: argparse.Namespace) -> ExperimentSetting:
     return ExperimentSetting(
+        objective=args.objective,
         num_clients=args.clients,
         clients_per_round=args.participation,
         heterogeneity=args.heterogeneity,
@@ -207,9 +221,32 @@ def _transport_spec(value: str) -> str:
     return value
 
 
+def _objective_spec(value: str) -> str:
+    """Validate an objective-override spec (e.g. ``proto_nce=0.7`` or
+    ``ce=1,align=0.3``) syntactically at parse time; whether each named
+    term exists on the chosen method's objective is checked when the
+    strategy is built."""
+    try:
+        parse_objective_overrides(value)
+    except (TypeError, ValueError) as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return value
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--suite", choices=sorted(SUITES), required=True)
-    parser.add_argument("--method", choices=sorted(METHODS), required=True)
+    parser.add_argument(
+        "--method", "--strategy", dest="method", choices=sorted(METHODS),
+        required=True,
+        help="FedDG method (strategy) to run; --strategy is an alias",
+    )
+    parser.add_argument(
+        "--objective", type=_objective_spec, default=None,
+        help="reweight the method's composite objective, e.g. "
+        "'proto_nce=0.7' or 'consistency=1,align=0.5'; valid term names "
+        "are the ones the method's objective declares "
+        "(see repro.nn.objective)",
+    )
     parser.add_argument("--clients", type=_positive_int, default=20)
     parser.add_argument(
         "--participation", type=_participation, default=0.25,

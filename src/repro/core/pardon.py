@@ -7,13 +7,19 @@ The four steps of Fig. 2 map onto the strategy hooks as follows:
    — this is what makes the method robust to client sampling: the global
    style already carries every client's domain knowledge even if a client is
    never sampled again.
-3. **Contrastive local training** is :meth:`PardonStrategy.local_update`:
-   each participant style-transfers its data to the interpolation style and
-   optimizes Eq. 9.
+3. **Contrastive local training** is the declarative objective (Eq. 9):
+   cross-entropy over both halves (or the original half, per
+   ``ce_on_transferred``), the triplet term at ``gamma_triplet``, and the
+   pair-L2 regularizer at ``gamma_reg`` — with
+   :meth:`PardonStrategy.local_views` supplying the style-transferred
+   second view each round.  The generic runners execute it on both the
+   loop and the ensemble compute path, operand-for-operand identical to
+   :func:`repro.core.contrastive.pardon_batch_step`.
 4. **Aggregation** is inherited data-size-weighted FedAvg.
 
 Ablation variants v1–v5 (paper Table V) are selected purely through
-:class:`repro.core.config.PardonConfig`.
+:class:`repro.core.config.PardonConfig` — the config decides which terms
+the objective carries.
 """
 
 from __future__ import annotations
@@ -21,15 +27,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.config import PardonConfig
-from repro.core.contrastive import pardon_batch_step, pardon_ensemble_step
 from repro.core.interpolation import extract_interpolation_style
 from repro.core.local_style import compute_client_style
 from repro.fl.client import Client
-from repro.fl.executor import ClientUpdate
 from repro.fl.strategy import LocalTrainingConfig, Strategy
-from repro.nn.ensemble import ensemble_state_dicts
 from repro.nn.models import FeatureClassifierModel
-from repro.nn.module import Module
+from repro.nn.objective import (
+    CompositeObjective,
+    CrossEntropyTerm,
+    TripletStyleTerm,
+)
 from repro.style.adain import StyleVector, apply_style_to_images
 from repro.style.encoder import InvertibleEncoder
 from repro.utils.logging import get_logger
@@ -38,6 +45,35 @@ __all__ = ["PardonStrategy"]
 
 _LOG = get_logger("core.pardon")
 _TRANSFER_CACHE_KEY = "pardon_transferred"
+
+
+def _pardon_objective(config: PardonConfig) -> CompositeObjective:
+    """Eq. 9 as a term list.
+
+    When ``config.contrastive`` is off (ablation v3) the transferred half
+    still flows through cross-entropy as plain augmentation, matching the
+    paper's description of that variant.
+    """
+    bindings: list = [
+        (
+            "ce",
+            1.0,
+            CrossEntropyTerm(
+                all_views=config.ce_on_transferred or not config.contrastive
+            ),
+        )
+    ]
+    if config.contrastive and config.gamma_triplet > 0:
+        bindings.append(
+            (
+                "triplet_style",
+                config.gamma_triplet,
+                TripletStyleTerm(margin=config.margin, hinge=config.triplet_hinge),
+            )
+        )
+    if config.gamma_reg > 0:
+        bindings.append(("pair_l2", config.gamma_reg))
+    return CompositeObjective(bindings)
 
 
 class PardonStrategy(Strategy):
@@ -58,6 +94,7 @@ class PardonStrategy(Strategy):
         )
         self.interpolation_style: StyleVector | None = None
         self.client_styles: dict[int, StyleVector] = {}
+        self.objective = _pardon_objective(self.config)
 
     # -- steps 1 + 2: one-time style pipeline --------------------------------
 
@@ -122,91 +159,7 @@ class PardonStrategy(Strategy):
         client.scratch[_TRANSFER_CACHE_KEY] = transferred
         return transferred
 
-    def local_update(
-        self,
-        client: Client,
-        model: FeatureClassifierModel,
-        round_index: int,
-        rng: np.random.Generator,
-    ) -> ClientUpdate:
-        if client.num_samples == 0:
-            return ClientUpdate.from_client(client, model.state_dict(), 0.0)
-        images = client.dataset.images
-        labels = client.dataset.labels
-        transferred = self._transferred_images(client, rng)
-
-        model.train()
-        optimizer = self.local_config.make_optimizer(model)
-        config = self.local_config
-        losses: list[float] = []
-        n = images.shape[0]
-        for _ in range(config.local_epochs):
-            order = rng.permutation(n)
-            for start in range(0, n, config.batch_size):
-                batch_idx = order[start : start + config.batch_size]
-                result = pardon_batch_step(
-                    model=model,
-                    images=images[batch_idx],
-                    transferred=transferred[batch_idx],
-                    labels=labels[batch_idx],
-                    config=self.config,
-                    optimizer=optimizer,
-                )
-                losses.append(result.total)
-        return ClientUpdate.from_client(
-            client,
-            model.state_dict(),
-            float(np.mean(losses)) if losses else 0.0,
-        )
-
-    def ensemble_update(
-        self,
-        clients: list[Client],
-        emodel: Module,
-        round_index: int,
-        rngs: list[np.random.Generator],
-    ) -> list[ClientUpdate] | None:
-        """Step 3 over a ``(K, ...)`` client stack (the ``ensemble`` backend).
-
-        Per-client randomness is consumed in the loop path's exact order —
-        the style transfer (or v4 augmentation) first, then one permutation
-        per epoch — so slice ``k`` reproduces :meth:`local_update` for
-        client ``k`` bitwise, including the scratch-cached transfer.
-        """
-        config = self.local_config
-        stack = len(clients)
-        count = clients[0].num_samples
-        images = np.stack([client.dataset.images for client in clients])
-        labels = np.stack([client.dataset.labels for client in clients])
-        transferred = np.stack(
-            [
-                self._transferred_images(client, rng)
-                for client, rng in zip(clients, rngs)
-            ]
-        )
-        emodel.train()
-        optimizer = config.make_optimizer(emodel)
-        rows = np.arange(stack)[:, None]
-        batch_totals: list[np.ndarray] = []
-        for _ in range(config.local_epochs):
-            orders = np.stack([rng.permutation(count) for rng in rngs])
-            for start in range(0, count, config.batch_size):
-                indices = orders[:, start : start + config.batch_size]
-                totals = pardon_ensemble_step(
-                    emodel=emodel,
-                    images=images[rows, indices],
-                    transferred=transferred[rows, indices],
-                    labels=labels[rows, indices],
-                    config=self.config,
-                    optimizer=optimizer,
-                )
-                batch_totals.append(totals)
-        if batch_totals:
-            mean_losses = np.mean(np.stack(batch_totals, axis=1), axis=1)
-        else:
-            mean_losses = np.zeros(stack)
-        states = ensemble_state_dicts(emodel)
-        return [
-            ClientUpdate.from_client(client, state, float(loss))
-            for client, state, loss in zip(clients, states, mean_losses)
-        ]
+    def local_views(
+        self, client: Client, rng: np.random.Generator
+    ) -> np.ndarray:
+        return self._transferred_images(client, rng)

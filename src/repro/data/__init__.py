@@ -16,9 +16,11 @@ from repro.data.synthetic import (
 from repro.data.registry import (
     OFFICE_HOME_DOMAINS,
     PACS_DOMAINS,
+    synthetic_domain_sweep,
     synthetic_iwildcam,
     synthetic_office_home,
     synthetic_pacs,
+    synthetic_skew,
 )
 from repro.data.partition import (
     ClientPartition,
@@ -39,6 +41,8 @@ __all__ = [
     "synthetic_pacs",
     "synthetic_office_home",
     "synthetic_iwildcam",
+    "synthetic_domain_sweep",
+    "synthetic_skew",
     "PACS_DOMAINS",
     "OFFICE_HOME_DOMAINS",
     "ClientPartition",

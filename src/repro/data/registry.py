@@ -21,6 +21,8 @@ __all__ = [
     "synthetic_pacs",
     "synthetic_office_home",
     "synthetic_iwildcam",
+    "synthetic_domain_sweep",
+    "synthetic_skew",
     "PACS_DOMAINS",
     "OFFICE_HOME_DOMAINS",
 ]
@@ -251,4 +253,111 @@ def synthetic_iwildcam(
         train_domains=train,
         val_domains=val,
         test_domains=test,
+    )
+
+
+def synthetic_domain_sweep(
+    seed: int = 0,
+    num_domains: int = 6,
+    num_classes: int = 8,
+    samples_per_class: int = 20,
+    image_size: int = 16,
+    gain_spread: float = 0.8,
+) -> DomainSuite:
+    """Domain-count sweep suite: ``num_domains`` randomly styled domains,
+    balanced classes.
+
+    Where PACS/Office-Home pin the domain count at 4, this builder makes
+    the count a knob — the scenario axis the alignment-flavoured methods
+    (FedAlign, FedCCRL) are most sensitive to, since their fused per-class
+    targets average over more, and more diverse, client geometries as
+    domains multiply.  ``gain_spread`` widens the random style gap.
+    """
+    if num_domains < 2:
+        raise ValueError(f"need at least 2 domains, got {num_domains}")
+    tree = SeedTree(seed).child("synthetic_domain_sweep")
+    bank = ContentBank(num_classes, image_size, tree.generator("content"))
+    datasets: list[LabeledDataset] = []
+    domain_names: list[str] = []
+    for domain_id in range(num_domains):
+        domain_name = f"domain_{domain_id:02d}"
+        domain_names.append(domain_name)
+        style = DomainStyle.random(
+            domain_name, tree.generator("style", domain_id),
+            gain_spread=gain_spread,
+        )
+        datasets.append(
+            generate_domain_dataset(
+                content_bank=bank,
+                style=style,
+                domain_id=domain_id,
+                samples_per_class=samples_per_class,
+                rng=tree.generator("domain", domain_id),
+            )
+        )
+    return DomainSuite(
+        name="synthetic_domain_sweep",
+        num_classes=num_classes,
+        image_shape=(3, image_size, image_size),
+        domain_names=domain_names,
+        datasets=datasets,
+        train_domains=list(range(num_domains)),
+    )
+
+
+def synthetic_skew(
+    seed: int = 0,
+    num_domains: int = 4,
+    num_classes: int = 8,
+    samples_per_class: int = 20,
+    image_size: int = 16,
+    label_skew: float = 3.0,
+    style_spread: float = 0.8,
+) -> DomainSuite:
+    """Label/style-skew sweep suite: each domain draws its class histogram
+    from a Dirichlet prior with concentration ``1 / label_skew``.
+
+    ``label_skew`` close to 0 gives near-balanced domains; large values
+    concentrate each domain on a few classes (some classes absent
+    entirely), which is the regime that separates payload-carrying
+    methods — fused per-class targets and prototypes must then be
+    assembled across clients that each see only a class *subset*.
+    ``style_spread`` widens the random style gap the same way
+    ``gain_spread`` does for the camera suite.
+    """
+    if num_domains < 2:
+        raise ValueError(f"need at least 2 domains, got {num_domains}")
+    if label_skew <= 0:
+        raise ValueError(f"label_skew must be > 0, got {label_skew}")
+    tree = SeedTree(seed).child("synthetic_skew")
+    bank = ContentBank(num_classes, image_size, tree.generator("content"))
+    total_per_domain = num_classes * samples_per_class
+    datasets: list[LabeledDataset] = []
+    domain_names: list[str] = []
+    for domain_id in range(num_domains):
+        domain_name = f"skew_{domain_id:02d}"
+        domain_names.append(domain_name)
+        style = DomainStyle.random(
+            domain_name, tree.generator("style", domain_id),
+            gain_spread=style_spread,
+        )
+        counts_rng = tree.generator("counts", domain_id)
+        weights = counts_rng.dirichlet(np.full(num_classes, 1.0 / label_skew))
+        counts = counts_rng.multinomial(total_per_domain, weights)
+        datasets.append(
+            generate_domain_dataset(
+                content_bank=bank,
+                style=style,
+                domain_id=domain_id,
+                samples_per_class=counts.astype(np.int64),
+                rng=tree.generator("domain", domain_id),
+            )
+        )
+    return DomainSuite(
+        name="synthetic_skew",
+        num_classes=num_classes,
+        image_shape=(3, image_size, image_size),
+        domain_names=domain_names,
+        datasets=datasets,
+        train_domains=list(range(num_domains)),
     )

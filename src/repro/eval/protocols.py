@@ -64,7 +64,10 @@ class ExperimentSetting:
     ``"edge:G"`` — G edge aggregators reduce the round with the streaming
     mean, bit-identical to flat), and ``max_resident`` bounds the
     parallel engine's resident-client LRU — the scaling knobs for large
-    lazy populations.
+    lazy populations.  ``objective`` reweights the strategy's composite
+    training objective per experiment (a ``"term=weight,..."`` spec over
+    the terms the method's objective declares — see
+    :mod:`repro.nn.objective`); ``None`` keeps the method's defaults.
     """
 
     num_clients: int = 20
@@ -86,6 +89,7 @@ class ExperimentSetting:
     quorum: int | None = None
     topology: str = "flat"
     max_resident: int | None = None
+    objective: str | None = None
 
     def round_participants(self) -> int:
         """This setting's resolved per-round participant count."""
@@ -174,6 +178,7 @@ def run_split_experiment(
     closed before returning.
     """
     clients = make_clients(suite, split["train"], setting, seed_label=tuple(split["train"]))
+    strategy.apply_objective_overrides(setting.objective)
     tree = SeedTree(setting.seed).child(suite.name, "model")
     model = setting.model_factory(suite)(tree.generator("init"))
     eval_sets = {

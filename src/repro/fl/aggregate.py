@@ -136,21 +136,37 @@ class AggregationStream:
 
 
 class _MeanStream(AggregationStream):
-    """Streaming form of ``mean``: one compensated accumulator."""
+    """Streaming form of ``mean``: one compensated accumulator.
+
+    The batch path falls back to uniform weights when every survivor
+    weighs zero (an all-empty-client round); the stream mirrors that with
+    a shadow accumulator folding each state at weight 1.0 for as long as
+    the real weights are all zero.  The first positive weight makes the
+    fallback unreachable (weights are non-negative sample counts, so the
+    total is now > 0) and drops the shadow — memory stays constant.
+    """
 
     def __init__(self, aggregator: "Aggregator") -> None:
         self._aggregator = aggregator
         self.partial = MeanAccumulator()
+        self.uniform: MeanAccumulator | None = MeanAccumulator()
 
     @property
     def count(self) -> int:  # type: ignore[override]
         return self.partial.count
 
     def fold(self, state: StateDict, weight: float, position: int = 0) -> None:
+        if self.uniform is not None:
+            if weight > 0:
+                self.uniform = None
+            else:
+                self.uniform.fold(state, 1.0)
         self.partial.fold(state, weight)
 
     def finalize(self) -> StateDict:
         self._aggregator.last_rejected = ()
+        if self.uniform is not None and self.uniform.count:
+            return self.uniform.finalize()
         return self.partial.finalize()
 
 
@@ -171,6 +187,10 @@ class _ClipStream(AggregationStream):
     @property
     def partial(self) -> MeanAccumulator:
         return self._inner.partial  # type: ignore[attr-defined]
+
+    @property
+    def uniform(self) -> MeanAccumulator | None:
+        return self._inner.uniform  # type: ignore[attr-defined]
 
     def fold(self, state: StateDict, weight: float, position: int = 0) -> None:
         shrunk, was_clipped = self._aggregator.clip_one(state, self._ref)
@@ -202,12 +222,18 @@ class _EdgeStream(AggregationStream):
         self._groups[position % len(self._groups)].fold(state, weight, position)
 
     def finalize(self) -> StateDict:
+        active = [stream for stream in self._groups if stream.count]
+        clipped = sum(getattr(stream, "_clipped", 0) for stream in active)
+        total = sum(stream.partial.total_weight() for stream in active)
         root = MeanAccumulator()
-        clipped = 0
-        for stream in self._groups:
-            if stream.count:
+        if active and total <= 0:
+            # Every folded weight was zero: compose the groups' uniform
+            # shadows so two-tier matches the flat uniform fallback.
+            for stream in active:
+                root.merge(stream.uniform)
+        else:
+            for stream in active:
                 root.merge(stream.partial)
-                clipped += getattr(stream, "_clipped", 0)
         self._aggregator.last_clipped = clipped
         self._aggregator.last_rejected = ()
         return root.finalize()

@@ -14,6 +14,32 @@ learning:
 The simulation core (:mod:`repro.fl.server`) is method-agnostic and only
 calls these hooks, so adding a new FedDG method requires exactly one class.
 
+Most FedDG methods don't need the loop-level hooks at all: the base
+``local_update`` / ``ensemble_update`` run a declarative
+:class:`repro.nn.objective.CompositeObjective` through the generic epoch
+runners, and a method customizes the *ingredients* instead —
+
+* :attr:`Strategy.objective` — the method's weighted term list (FedSR is
+  ``ce + embed_l2 + class_align``; per-experiment reweighting comes in
+  through :meth:`apply_objective_overrides` / ``--objective``);
+* :meth:`Strategy.local_views` — an optional second index-aligned view of
+  the client's images (PARDON's style transfer, FedCCRL's augmentation);
+* :meth:`Strategy.objective_context` — per-client extras the terms read
+  (FPL's global prototypes, FedAlign's fused alignment targets);
+* :meth:`Strategy.payload_from_embeddings` — the method's upload side
+  channel, distilled from a post-training embedding sweep;
+* :meth:`Strategy.fuse_payloads` — the server-side merge of those
+  payloads, run at the top of :meth:`aggregate` on both the batch and the
+  streaming path.
+
+Objective-driven strategies inherit the vectorized ``ensemble`` compute
+backend automatically — the generic runners own both the scalar and the
+``(K, ...)``-stacked loop.  Methods whose client step doesn't fit the
+objective shape (CCST's style-bank resampling, MixStyle's feature-level
+mixing) override :meth:`Strategy.train_client` instead, which sits *under*
+the empty-client guard so every strategy handles zero-sample clients
+uniformly.
+
 Execution contract
 ------------------
 ``local_update`` may run inside a worker process (see
@@ -46,9 +72,16 @@ from repro.fl.aggregate import AggregationStream, Aggregator, make_aggregator
 from repro.fl.client import Client
 from repro.fl.executor import ClientUpdate
 from repro.nn import SGD, CrossEntropyLoss
-from repro.nn.ensemble import ensemble_cross_entropy, ensemble_state_dicts
+from repro.nn.ensemble import ensemble_state_dicts
 from repro.nn.models import FeatureClassifierModel
 from repro.nn.module import Module
+from repro.nn.objective import (
+    CompositeObjective,
+    dataset_embeddings,
+    ensemble_dataset_embeddings,
+    run_objective_ensemble,
+    run_objective_epochs,
+)
 from repro.nn.serialize import StateDict
 
 __all__ = ["LocalTrainingConfig", "Strategy", "run_ce_epochs"]
@@ -129,6 +162,18 @@ class Strategy:
         #: the config's rule onto a default-``mean`` strategy, so CLI
         #: strategies need no constructor plumbing.
         self.aggregator = make_aggregator(aggregator)
+        #: The method's local training objective — plain cross-entropy
+        #: (FedAvg) unless the subclass installs its own term list.
+        self.objective = CompositeObjective([("ce", 1.0)])
+
+    def apply_objective_overrides(self, overrides) -> None:
+        """Reweight the objective's terms per experiment (``--objective``
+        / :attr:`ExperimentSetting.objective`): a ``"term=weight,..."``
+        spec or mapping.  Unknown term names raise — the override must
+        target terms this strategy's objective actually has."""
+        if not overrides:
+            return
+        self.objective = self.objective.with_overrides(overrides)
 
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
@@ -149,6 +194,48 @@ class Strategy:
     ) -> None:
         """One-time setup before the first round.  Default: nothing."""
 
+    # -- objective-driven training hooks ----------------------------------
+
+    def local_views(
+        self, client: Client, rng: np.random.Generator
+    ) -> np.ndarray | None:
+        """An optional second view of the client's images, index-aligned
+        with ``client.dataset`` (PARDON's style transfer, FedCCRL's
+        augmentation).  Called once per update, *before* any batch
+        permutation is drawn, so view randomness and shuffle randomness
+        compose identically on the loop and ensemble paths."""
+        return None
+
+    def objective_context(self, client: Client) -> dict:
+        """Per-client extras the objective's terms read (global
+        prototypes, alignment targets).  Values must be picklable — they
+        travel to worker processes on the strategy."""
+        return {}
+
+    def payload_from_embeddings(
+        self, client: Client, embeddings: np.ndarray, labels: np.ndarray
+    ) -> dict | None:
+        """Distill the method's upload side channel from a post-training
+        eval-mode embedding sweep of the client's dataset.  Returning a
+        dict opts the strategy into the sweep; the base returns ``None``
+        and no sweep runs."""
+        return None
+
+    def fuse_payloads(self, updates: list[ClientUpdate], round_index: int) -> None:
+        """Server-side merge of the round's ``ClientUpdate.payload``
+        entries into strategy state broadcast next round (FPL fuses
+        prototypes, FedAlign fuses alignment targets).  Runs at the top of
+        :meth:`aggregate` on both the batch and the streaming path —
+        payloads survive streaming; only upload *states* are freed."""
+
+    def _extracts_payload(self) -> bool:
+        return (
+            type(self).payload_from_embeddings
+            is not Strategy.payload_from_embeddings
+        )
+
+    # -- client-side updates ----------------------------------------------
+
     def local_update(
         self,
         client: Client,
@@ -159,24 +246,69 @@ class Strategy:
         """Train ``model`` (already loaded with the global weights) on the
         client's data; return the client's upload.
 
-        Default implementation is FedAvg's plain cross-entropy step.
+        A zero-sample client contributes a zero-loss, unchanged-state
+        update without consuming randomness — guarded here so every
+        strategy inherits it; method-specific loops live in
+        :meth:`train_client`.
         """
-        loss = run_ce_epochs(model, client.dataset, self.local_config, rng)
-        return ClientUpdate.from_client(client, model.state_dict(), loss)
+        if client.num_samples == 0:
+            return ClientUpdate.from_client(client, model.state_dict(), 0.0)
+        return self.train_client(client, model, round_index, rng)
+
+    def train_client(
+        self,
+        client: Client,
+        model: FeatureClassifierModel,
+        round_index: int,
+        rng: np.random.Generator,
+    ) -> ClientUpdate:
+        """The method-specific client step (``client.num_samples > 0``
+        guaranteed).  The base runs :attr:`objective` through the generic
+        epoch runner — FedAvg's plain CE step bit-for-bit when the
+        objective is the default — then distills the upload payload, if
+        the strategy extracts one."""
+        secondary = self.local_views(client, rng)
+        loss = run_objective_epochs(
+            model,
+            client.dataset,
+            self.objective,
+            self.local_config,
+            rng,
+            extras=self.objective_context(client),
+            secondary=secondary,
+        )
+        payload = None
+        if self._extracts_payload():
+            model.eval()
+            embeddings = dataset_embeddings(
+                model.forward_features, client.dataset.images
+            )
+            payload = self.payload_from_embeddings(
+                client, embeddings, client.dataset.labels
+            )
+            model.train()
+        return ClientUpdate.from_client(
+            client, model.state_dict(), loss, payload=payload
+        )
 
     def supports_ensemble(self) -> bool:
         """Whether the ``ensemble`` compute backend may batch this strategy.
 
-        True when the subclass provides its own :meth:`ensemble_update`,
-        or when it kept the base :meth:`local_update` (so the base
-        vectorized CE loop below is its exact batched counterpart).  A
-        subclass that overrides ``local_update`` without a matching
-        ``ensemble_update`` silently runs on the loop backend — correct,
-        just not fused.
+        True when the subclass provides its own :meth:`ensemble_update` or
+        :meth:`train_group`, or when it kept the base
+        :meth:`local_update` *and* :meth:`train_client` (the generic
+        ensemble runner is then its exact batched counterpart).  A
+        subclass that overrides the scalar loop without a matching batched
+        one silently runs on the loop backend — correct, just not fused.
         """
         if type(self).ensemble_update is not Strategy.ensemble_update:
             return True
-        return type(self).local_update is Strategy.local_update
+        if type(self).train_group is not Strategy.train_group:
+            return True
+        return (
+            type(self).local_update is Strategy.local_update
+            and type(self).train_client is Strategy.train_client
+        )
 
     def ensemble_update(
         self,
@@ -198,41 +330,62 @@ class Strategy:
         Returns the per-client updates in group order, or ``None`` to
         decline the group (the backend reruns it through the loop path).
 
-        The base implementation is :func:`run_ce_epochs` vectorized: per
-        batch, one batched forward, one ensemble cross-entropy, one batched
-        backward, and one fused SGD step over the whole stack.
+        Mirrors :meth:`local_update`: the zero-sample guard lives here
+        (the whole group is same-sized, so one empty client means all
+        are), the batched method step in :meth:`train_group`.
         """
-        config = self.local_config
-        stack = len(clients)
-        count = clients[0].num_samples
-        emodel.train()
-        optimizer = config.make_optimizer(emodel)
+        if clients and clients[0].num_samples == 0:
+            states = ensemble_state_dicts(emodel)
+            return [
+                ClientUpdate.from_client(client, state, 0.0)
+                for client, state in zip(clients, states)
+            ]
+        return self.train_group(clients, emodel, round_index, rngs)
+
+    def train_group(
+        self,
+        clients: list[Client],
+        emodel: Module,
+        round_index: int,
+        rngs: list[np.random.Generator],
+    ) -> list[ClientUpdate] | None:
+        """The batched method step (every client non-empty).  The base is
+        :meth:`train_client` vectorized: per-client views drawn first (one
+        ``rngs[k]`` draw order per slice, exactly as the loop path), one
+        stacked objective run, then the payload sweep."""
+        views = [
+            self.local_views(client, rng) for client, rng in zip(clients, rngs)
+        ]
+        secondary = np.stack(views) if views and views[0] is not None else None
         images = np.stack([client.dataset.images for client in clients])
         labels = np.stack([client.dataset.labels for client in clients])
-        rows = np.arange(stack)[:, None]
-        batch_losses: list[np.ndarray] = []
-        for _ in range(config.local_epochs):
-            # One permutation per client, drawn in client order — the same
-            # draw Batcher.epoch makes on the loop path.
-            orders = np.stack([rng.permutation(count) for rng in rngs])
-            for start in range(0, count, config.batch_size):
-                indices = orders[:, start : start + config.batch_size]
-                emodel.zero_grad()
-                logits = emodel.forward(images[rows, indices])
-                losses, grad_logits = ensemble_cross_entropy(
-                    logits, labels[rows, indices]
-                )
-                emodel.backward(grad_logits=grad_logits)
-                optimizer.step()
-                batch_losses.append(losses)
-        if batch_losses:
-            mean_losses = np.mean(np.stack(batch_losses, axis=1), axis=1)
-        else:
-            mean_losses = np.zeros(stack)
+        mean_losses = run_objective_ensemble(
+            emodel,
+            images,
+            labels,
+            self.objective,
+            self.local_config,
+            rngs,
+            extras=[self.objective_context(client) for client in clients],
+            secondary=secondary,
+        )
+        payloads: list[dict | None] = [None] * len(clients)
+        if self._extracts_payload():
+            emodel.eval()
+            embeddings = ensemble_dataset_embeddings(
+                emodel.forward_features, images
+            )
+            payloads = [
+                self.payload_from_embeddings(client, embeddings[k], labels[k])
+                for k, client in enumerate(clients)
+            ]
+            emodel.train()
         states = ensemble_state_dicts(emodel)
         return [
-            ClientUpdate.from_client(client, state, float(loss))
-            for client, state, loss in zip(clients, states, mean_losses)
+            ClientUpdate.from_client(client, state, float(loss), payload=payload)
+            for client, state, loss, payload in zip(
+                clients, states, mean_losses, payloads
+            )
         ]
 
     def supports_streaming(self) -> bool:
@@ -286,6 +439,7 @@ class Strategy:
         so this call only finalizes.  Order invariance of the compensated
         mean makes the result bit-identical to the batch reduction.
         """
+        self.fuse_payloads(updates, round_index)
         if stream is not None:
             if stream.count != len(updates):
                 raise RuntimeError(

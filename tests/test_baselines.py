@@ -5,7 +5,9 @@ import pytest
 
 from repro.baselines import (
     CCSTStrategy,
+    FedAlignStrategy,
     FedAvgStrategy,
+    FedCCRLStrategy,
     FedDGGAStrategy,
     FedGMAStrategy,
     FedSRStrategy,
@@ -57,8 +59,13 @@ ALL_STRATEGIES = [
     lambda: FPLStrategy(local_config=FAST),
     lambda: FedDGGAStrategy(local_config=FAST),
     lambda: CCSTStrategy(local_config=FAST),
+    lambda: FedAlignStrategy(local_config=FAST),
+    lambda: FedCCRLStrategy(local_config=FAST),
 ]
-STRATEGY_IDS = ["fedavg", "fedsr", "fedgma", "fpl", "feddg_ga", "ccst"]
+STRATEGY_IDS = [
+    "fedavg", "fedsr", "fedgma", "fpl", "feddg_ga", "ccst",
+    "fedalign", "fedccrl",
+]
 
 
 class TestAllStrategiesRun:
@@ -176,6 +183,61 @@ class TestFPL:
             FPLStrategy(proto_weight=-0.1)
         with pytest.raises(ValueError):
             FPLStrategy(temperature=0.0)
+
+
+class TestFedAlign:
+    def test_targets_populated_after_round(self):
+        strategy = FedAlignStrategy(local_config=FAST)
+        run_strategy(strategy, rounds=2)
+        assert strategy.global_targets
+        dim = make_model().embed_dim
+        for target in strategy.global_targets.values():
+            assert target.shape == (dim,)
+            assert np.all(np.isfinite(target))
+
+    def test_fusion_is_count_weighted(self):
+        strategy = FedAlignStrategy(local_config=FAST)
+        clients = make_clients(2)
+        a = np.zeros(4)
+        b = np.ones(4)
+        updates = [
+            ClientUpdate.from_client(
+                clients[0],
+                make_model().state_dict(),
+                0.0,
+                payload={"feature_stats": {0: (a, 1)}},
+            ),
+            ClientUpdate.from_client(
+                clients[1],
+                make_model().state_dict(),
+                0.0,
+                payload={"feature_stats": {0: (b, 3)}},
+            ),
+        ]
+        strategy.fuse_payloads(updates, 0)
+        assert np.allclose(strategy.global_targets[0], 0.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FedAlignStrategy(align_weight=-0.1)
+
+
+class TestFedCCRL:
+    def test_targets_and_spread_populated(self):
+        strategy = FedCCRLStrategy(local_config=FAST)
+        run_strategy(strategy, rounds=2)
+        assert strategy.global_targets
+        spread = strategy.target_spread()
+        assert set(spread) == set(strategy.global_targets)
+        for value in spread.values():
+            assert np.isfinite(value)
+            assert value >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FedCCRLStrategy(consistency_weight=-1.0)
+        with pytest.raises(ValueError):
+            FedCCRLStrategy(align_weight=-1.0)
 
 
 class TestFedDGGA:

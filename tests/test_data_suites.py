@@ -5,9 +5,11 @@ import pytest
 
 from repro.data import (
     LabeledDataset,
+    synthetic_domain_sweep,
     synthetic_iwildcam,
     synthetic_office_home,
     synthetic_pacs,
+    synthetic_skew,
 )
 
 
@@ -156,3 +158,87 @@ class TestIWildCamSuite:
     def test_rejects_empty_split(self):
         with pytest.raises(ValueError):
             synthetic_iwildcam(num_val_domains=0)
+
+
+class TestDomainSweepSuite:
+    def test_domain_count_is_a_knob(self):
+        for n in (2, 5, 9):
+            suite = synthetic_domain_sweep(
+                seed=0, num_domains=n, num_classes=4,
+                samples_per_class=3, image_size=8,
+            )
+            assert suite.num_domains == n
+            assert len(suite.datasets) == n
+            assert suite.train_domains == list(range(n))
+            for dataset in suite.datasets:
+                assert len(dataset) == 4 * 3
+
+    def test_classes_balanced_per_domain(self):
+        suite = synthetic_domain_sweep(
+            seed=0, num_domains=3, num_classes=5,
+            samples_per_class=4, image_size=8,
+        )
+        for dataset in suite.datasets:
+            np.testing.assert_array_equal(dataset.class_counts(5), [4] * 5)
+
+    def test_domains_have_distinct_statistics(self):
+        suite = synthetic_domain_sweep(
+            seed=0, num_domains=4, num_classes=4,
+            samples_per_class=8, image_size=8,
+        )
+        means = [d.images.mean(axis=(0, 2, 3)) for d in suite.datasets]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert np.linalg.norm(means[i] - means[j]) > 0.05
+
+    def test_reproducible(self):
+        a = synthetic_domain_sweep(seed=3, num_domains=3, samples_per_class=2,
+                                   image_size=8)
+        b = synthetic_domain_sweep(seed=3, num_domains=3, samples_per_class=2,
+                                   image_size=8)
+        np.testing.assert_array_equal(a.datasets[0].images, b.datasets[0].images)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_domain_sweep(num_domains=1)
+
+
+class TestSkewSuite:
+    def test_label_skew_concentrates_class_histograms(self):
+        """Larger label_skew -> peakier per-domain class histograms (the
+        regime where fused per-class targets must be assembled across
+        clients that each see only a class subset)."""
+        def mean_top_share(label_skew):
+            suite = synthetic_skew(
+                seed=0, num_domains=4, num_classes=8,
+                samples_per_class=10, image_size=8, label_skew=label_skew,
+            )
+            shares = []
+            for dataset in suite.datasets:
+                counts = dataset.class_counts(8)
+                shares.append(counts.max() / counts.sum())
+            return float(np.mean(shares))
+
+        assert mean_top_share(20.0) > mean_top_share(0.05)
+
+    def test_total_samples_conserved_per_domain(self):
+        suite = synthetic_skew(
+            seed=0, num_domains=3, num_classes=6,
+            samples_per_class=5, image_size=8, label_skew=3.0,
+        )
+        for dataset in suite.datasets:
+            assert len(dataset) == 6 * 5
+
+    def test_reproducible(self):
+        a = synthetic_skew(seed=7, num_domains=3, samples_per_class=2,
+                           image_size=8)
+        b = synthetic_skew(seed=7, num_domains=3, samples_per_class=2,
+                           image_size=8)
+        np.testing.assert_array_equal(a.datasets[1].images, b.datasets[1].images)
+        np.testing.assert_array_equal(a.datasets[1].labels, b.datasets[1].labels)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_skew(num_domains=1)
+        with pytest.raises(ValueError):
+            synthetic_skew(label_skew=0.0)

@@ -19,6 +19,7 @@ from hypothesis import strategies as st
 from repro.baselines import FedAvgStrategy
 from repro.fl import (
     Client,
+    ClientUpdate,
     FederatedConfig,
     FederatedServer,
     LazyPopulation,
@@ -29,6 +30,7 @@ from repro.fl import (
     UniformClientSampler,
     as_population,
     make_aggregator,
+    make_compute,
     make_executor,
     parse_topology,
     shm_supported,
@@ -36,7 +38,7 @@ from repro.fl import (
 from repro.fl.aggregate import EdgeAggregator
 from repro.data import partition_clients, synthetic_pacs
 from repro.data.synthetic import LabeledDataset
-from repro.nn import build_mlp_model
+from repro.nn import build_mlp_model, ensemble_of, load_state_broadcast
 from repro.nn.serialize import MeanAccumulator, average_states
 
 SUITE = synthetic_pacs(seed=0, samples_per_class=8, image_size=8)
@@ -186,6 +188,149 @@ class TestStreamingFoldOrder:
         assert not aggregator.streaming
         with pytest.raises(NotImplementedError, match="not streaming"):
             aggregator.begin_stream()
+
+
+class TestZeroWeightStreamFallback:
+    """Regression: an all-zero-weight round (every sampled client empty)
+    must stream to the same uniform-mean fallback the batch path takes
+    (``Strategy.aggregate``'s ``sum(weights) <= 0`` branch), bit for bit.
+    Before the fix the stream's finalize raised ``weights must not sum to
+    zero`` where the batch path silently recovered."""
+
+    @pytest.mark.parametrize(
+        "spec", ["mean", "clip(1.5)+mean", "edge(3)+mean"]
+    )
+    def test_zero_weight_stream_matches_batch_uniform_fallback(self, spec):
+        states, _ = _states_and_weights(23, 5)
+        ref = {key: np.zeros_like(value) for key, value in states[0].items()}
+        aggregator = make_aggregator(spec)
+        batch = aggregator.aggregate(states, [1.0] * len(states), ref=ref)
+        stream = aggregator.begin_stream(ref)
+        for position, state in enumerate(states):
+            stream.fold(state, 0.0, position)
+        streamed = stream.finalize()
+        for key in batch:
+            np.testing.assert_array_equal(
+                streamed[key], batch[key],
+                err_msg=f"{spec}: zero-weight stream diverged from batch",
+            )
+
+    def test_first_positive_weight_drops_the_shadow(self):
+        """A zero-weight prefix must not disturb the weighted result once
+        any positive weight arrives — and the shadow accumulator is freed
+        (constant memory, weights are non-negative sample counts)."""
+        states, weights = _states_and_weights(29, 5)
+        weights[0] = 0.0
+        weights[1] = 0.0
+        aggregator = make_aggregator("mean")
+        batch = aggregator.aggregate(states, weights)
+        stream = aggregator.begin_stream()
+        for position, (state, weight) in enumerate(zip(states, weights)):
+            stream.fold(state, weight, position)
+            if weight > 0:
+                assert stream.uniform is None
+        streamed = stream.finalize()
+        for key in batch:
+            np.testing.assert_array_equal(streamed[key], batch[key])
+
+    def test_strategy_batch_and_stream_agree_on_all_empty_round(self):
+        """End of the wire: Strategy.aggregate must return the same state
+        whether the engine streamed the all-empty round or batched it."""
+        strategy = FedAvgStrategy(FAST)
+        global_state = _model().state_dict()
+        states, _ = _states_and_weights(31, 4)
+        empty_dataset = SUITE.datasets[0].subset(np.array([], dtype=int))
+        clients = [Client(i, empty_dataset) for i in range(4)]
+        batch_updates = [
+            ClientUpdate.from_client(client, state, 0.0)
+            for client, state in zip(clients, states)
+        ]
+        merged_batch = strategy.aggregate(global_state, batch_updates, 0)
+        stream = strategy.begin_stream(global_state)
+        assert stream is not None
+        stream_updates = [
+            ClientUpdate.from_client(client, state, 0.0)
+            for client, state in zip(clients, states)
+        ]
+        for position, update in enumerate(stream_updates):
+            stream.fold(update.state, float(update.num_samples), position)
+            update.state = None  # the engine frees folded uploads
+        merged_stream = strategy.aggregate(
+            global_state, stream_updates, 0, stream=stream
+        )
+        for key in merged_batch:
+            np.testing.assert_array_equal(
+                merged_batch[key], merged_stream[key]
+            )
+
+
+class TestEmptyClientGuard:
+    """Regression: the zero-sample guard lives in the *base* strategy
+    (``local_update`` and ``ensemble_update``), so every strategy and both
+    compute backends handle empty clients uniformly — zero loss, unchanged
+    state, no randomness consumed."""
+
+    @staticmethod
+    def _empty_dataset():
+        return SUITE.datasets[0].subset(np.array([], dtype=int))
+
+    def _mixed_clients(self):
+        clients = make_clients(4)
+        clients.insert(1, Client(97, self._empty_dataset()))
+        clients.append(Client(98, self._empty_dataset()))
+        return clients
+
+    def test_base_local_update_guards_empty_client(self, rng):
+        strategy = FedAvgStrategy(FAST)
+        model = _model()
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        update = strategy.local_update(
+            Client(99, self._empty_dataset()), model, 0, rng
+        )
+        assert update.loss == 0.0
+        assert update.num_samples == 0
+        for key in before:
+            np.testing.assert_array_equal(update.state[key], before[key])
+
+    def test_base_ensemble_update_guards_empty_group(self):
+        strategy = FedAvgStrategy(FAST)
+        model = _model()
+        wire = model.state_dict()
+        clients = [Client(i, self._empty_dataset()) for i in range(3)]
+        emodel = ensemble_of(model, 3)
+        load_state_broadcast(emodel, wire, 3)
+        rngs = [np.random.default_rng(i) for i in range(3)]
+        updates = strategy.ensemble_update(clients, emodel, 0, rngs)
+        assert updates is not None
+        for update in updates:
+            assert update.loss == 0.0
+            for key in wire:
+                np.testing.assert_array_equal(update.state[key], wire[key])
+
+    @pytest.mark.parametrize("compute", ["ensemble", "strict"])
+    def test_backends_agree_on_group_with_empty_clients(self, compute):
+        """A group mixing empty and non-empty clients produces bitwise the
+        loop backend's updates on the batched backends."""
+        model = _model()
+        wire = model.state_dict()
+        seeds = list(range(100, 106))
+
+        def updates_for(backend):
+            return make_compute(backend).run_group(
+                FedAvgStrategy(FAST), _model(), wire,
+                self._mixed_clients(), 0, seeds,
+            )
+
+        reference = updates_for("loop")
+        batched = updates_for(compute)
+        assert [u.client_id for u in batched] == [
+            u.client_id for u in reference
+        ]
+        for ref, got in zip(reference, batched):
+            assert got.loss == ref.loss
+            assert got.num_samples == ref.num_samples
+            for key in ref.state:
+                np.testing.assert_array_equal(got.state[key], ref.state[key])
 
 
 class TestAverageStatesOut:
